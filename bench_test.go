@@ -1,0 +1,252 @@
+// Benchmarks regenerating the measurements behind each table and figure
+// of the paper. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Mapping (see DESIGN.md §6 and EXPERIMENTS.md):
+//
+//	BenchmarkTable7Grid        — Table VII / Table XII grid cells
+//	BenchmarkAlgorithms/*      — Table IX (time) and Table X (-benchmem)
+//	BenchmarkFig2Cells/*       — Fig. 2 error series cells
+//	BenchmarkQueries/*         — query-evaluation cost (harness overhead)
+//	BenchmarkTmFFilterAblation — TmF high-pass filter vs naive matrix
+//	BenchmarkDPdKSensitivity   — smooth vs global sensitivity (DP-dK)
+//	BenchmarkDGGConstruction   — BTER vs Chung-Lu construction (DGG)
+//	BenchmarkPrivGraphSplit    — PrivGraph budget-split ablation
+//	BenchmarkPrivHRGMCMC       — PrivHRG MCMC-length ablation
+//	BenchmarkDatasets          — dataset stand-in generation cost
+//
+// Benchmarks use scaled-down datasets (bench scale 0.05–0.1) so the suite
+// completes in minutes; the cmd/pgb harness runs the same code at any
+// scale.
+package pgb_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pgb"
+	"pgb/internal/algo/dgg"
+	"pgb/internal/algo/dpdk"
+	"pgb/internal/algo/privgraph"
+	"pgb/internal/algo/privhrg"
+	"pgb/internal/algo/tmf"
+	"pgb/internal/core"
+	"pgb/internal/datasets"
+	"pgb/internal/graph"
+)
+
+const benchScale = 0.05
+
+func benchGraph(b *testing.B, name string) *graph.Graph {
+	b.Helper()
+	spec, err := datasets.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec.Load(benchScale, 42)
+}
+
+// BenchmarkAlgorithms measures one generation per (algorithm, dataset)
+// pair at ε = 1 — the Table IX / Table X measurement unit.
+func BenchmarkAlgorithms(b *testing.B) {
+	for _, algName := range append(core.AlgorithmNames(), "DER") {
+		for _, dsName := range []string{"Minnesota", "Facebook", "Gnutella", "ER"} {
+			b.Run(fmt.Sprintf("%s/%s", algName, dsName), func(b *testing.B) {
+				g := benchGraph(b, dsName)
+				alg, err := core.NewAlgorithm(algName)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rng := rand.New(rand.NewSource(int64(i)))
+					if _, err := alg.Generate(g, 1, rng); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable7Grid runs one full benchmark cell (generation + all
+// fifteen queries) — the unit of Tables VII and XII.
+func BenchmarkTable7Grid(b *testing.B) {
+	g := benchGraph(b, "Facebook")
+	rng := rand.New(rand.NewSource(1))
+	truth := core.ComputeProfile(g, core.ProfileOptions{}, rng)
+	alg, err := core.NewAlgorithm("PrivGraph")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(int64(i)))
+		syn, err := alg.Generate(g, 1, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof := core.ComputeProfile(syn, core.ProfileOptions{}, r)
+		for _, q := range core.AllQueries() {
+			core.Score(q, truth, prof)
+		}
+	}
+}
+
+// BenchmarkFig2Cells measures the five Fig. 2 queries on the four Fig. 2
+// graphs (per-cell cost of the figure's series).
+func BenchmarkFig2Cells(b *testing.B) {
+	for _, dsName := range core.Fig2Datasets() {
+		b.Run(dsName, func(b *testing.B) {
+			g := benchGraph(b, dsName)
+			rng := rand.New(rand.NewSource(2))
+			truth := core.ComputeProfile(g, core.ProfileOptions{}, rng)
+			alg, _ := core.NewAlgorithm("TmF")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := rand.New(rand.NewSource(int64(i)))
+				syn, err := alg.Generate(g, 1, r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prof := core.ComputeProfile(syn, core.ProfileOptions{}, r)
+				for _, q := range core.Fig2Queries() {
+					core.Score(q, truth, prof)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueries isolates the cost of the fifteen-query profile, the
+// harness overhead shared by every cell.
+func BenchmarkQueries(b *testing.B) {
+	for _, dsName := range []string{"Minnesota", "Facebook", "ER"} {
+		b.Run(dsName, func(b *testing.B) {
+			g := benchGraph(b, dsName)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				core.ComputeProfile(g, core.ProfileOptions{}, rng)
+			}
+		})
+	}
+}
+
+// BenchmarkTmFFilterAblation compares TmF's linear-cost high-pass filter
+// against the naive O(n²) full-matrix perturbation it replaces (DESIGN.md
+// §7; the paper's "linear cost" contribution).
+func BenchmarkTmFFilterAblation(b *testing.B) {
+	g := benchGraph(b, "Facebook")
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"filter", false}, {"naive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			alg := tmf.New(tmf.Options{NaiveFullMatrix: mode.naive})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				if _, err := alg.Generate(g, 1, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDPdKSensitivity compares smooth-sensitivity DP-2K against the
+// global-sensitivity ablation.
+func BenchmarkDPdKSensitivity(b *testing.B) {
+	g := benchGraph(b, "Facebook")
+	for _, mode := range []struct {
+		name   string
+		global bool
+	}{{"smooth", false}, {"global", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			alg := dpdk.New(dpdk.Options{GlobalSensitivity: mode.global})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				if _, err := alg.Generate(g, 1, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDGGConstruction compares DGG's BTER construction against the
+// plain Chung-Lu ablation.
+func BenchmarkDGGConstruction(b *testing.B) {
+	g := benchGraph(b, "Facebook")
+	for _, mode := range []struct {
+		name    string
+		chunglu bool
+	}{{"bter", false}, {"chunglu", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			alg := dgg.New(dgg.Options{UseChungLu: mode.chunglu})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				if _, err := alg.Generate(g, 1, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrivGraphSplit sweeps PrivGraph's ε1:ε2:ε3 budget split.
+func BenchmarkPrivGraphSplit(b *testing.B) {
+	g := benchGraph(b, "Facebook")
+	splits := map[string][3]float64{
+		"equal":          {1, 1, 1},
+		"communityHeavy": {2, 1, 1},
+		"degreeHeavy":    {1, 2, 1},
+	}
+	for name, split := range splits {
+		b.Run(name, func(b *testing.B) {
+			alg := privgraph.New(privgraph.Options{Split: split})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				if _, err := alg.Generate(g, 1, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrivHRGMCMC sweeps the MCMC chain length.
+func BenchmarkPrivHRGMCMC(b *testing.B) {
+	g := benchGraph(b, "Minnesota")
+	for _, steps := range []int{1000, 5000, 20000} {
+		b.Run(fmt.Sprintf("steps=%d", steps), func(b *testing.B) {
+			alg := privhrg.New(privhrg.Options{MCMCSteps: steps})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				if _, err := alg.Generate(g, 1, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDatasets measures stand-in generation (Table VI setup cost).
+func BenchmarkDatasets(b *testing.B) {
+	for _, name := range pgb.Datasets() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pgb.LoadDataset(name, benchScale, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,299 @@
+// Command pgb drives the PGB benchmark from the command line. Each
+// subcommand regenerates one artifact of the paper:
+//
+//	pgb datasets                     Table VI  (dataset statistics)
+//	pgb table7   [flags]             Table VII (overall best counts)
+//	pgb table12  [flags]             Table XII (per-query best counts)
+//	pgb time     [flags]             Table IX  (generation time)
+//	pgb memory   [flags]             Table X   (memory consumption)
+//	pgb complexity                   Table VIII (theoretical complexity)
+//	pgb fig2     [flags]             Fig. 2    (error vs ε series)
+//	pgb fig7     [flags]             Fig. 7    (DER comparison)
+//	pgb verify   -alg {dpdk,tmf,privskg}   appendix verification
+//	pgb generate -alg A -dataset D -eps E  one synthetic graph to stdout
+//
+// Common flags: -scale (dataset size factor, default 0.1), -reps
+// (repetitions per cell, default 3), -seed, -eps (comma list), -algs,
+// -datasets (comma lists), -v (progress to stderr).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pgb/internal/core"
+	"pgb/internal/datasets"
+	"pgb/internal/graph"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "datasets":
+		err = cmdDatasets(args)
+	case "table7", "table12", "time", "memory", "fig2", "all", "html", "csv", "stability", "types":
+		err = cmdGrid(cmd, args)
+	case "recommend":
+		err = cmdRecommend(args)
+	case "complexity":
+		fmt.Print(core.FormatTable8())
+	case "fig7":
+		err = cmdFig7(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "generate":
+		err = cmdGenerate(args)
+	case "report":
+		err = cmdReport(args)
+	case "ablation":
+		err = cmdAblation(args)
+	case "ldp":
+		err = cmdLDP(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pgb: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgb %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pgb <command> [flags]
+
+commands:
+  datasets    print Table VI (dataset statistics at the chosen scale)
+  table7      print Table VII (best counts per dataset and epsilon)
+  table12     print Table XII (best counts per query)
+  time        print Table IX (generation time)
+  memory      print Table X (memory consumption; runs single-threaded)
+  complexity  print Table VIII (theoretical complexity)
+  fig2        print the Fig. 2 error-vs-epsilon series
+  fig7        print the Fig. 7 DER comparison
+  verify      print appendix verification (-alg dpdk|tmf|privskg)
+  generate    run one algorithm once and print the synthetic edge list
+  report      extended multi-metric report for one (alg, dataset, eps) cell
+  ablation    run a design-choice ablation (-name tmf-filter|dpdk-sensitivity|
+              dpdk-order|dgg-construction|privgraph-split|privhrg-mcmc)
+  ldp         compare the Edge-LDP extension mechanisms (LDPGen, RNL) with
+              the centralised DGG on one dataset
+  html        one grid run rendered as a standalone HTML results page
+  csv         one grid run exported as CSV (per-query mean and stddev)
+  stability   per-algorithm repeatability (coefficient of variation)
+  types       best counts aggregated by graph domain (Table II taxonomy)
+  recommend   mechanism selection guidelines for a scenario
+              (-nodes N -acc A -eps E [-queries CD,Mod] [-measured])`)
+}
+
+type gridFlags struct {
+	fs       *flag.FlagSet
+	scale    *float64
+	reps     *int
+	seed     *int64
+	epsStr   *string
+	algsStr  *string
+	dsStr    *string
+	verbose  *bool
+	parallel *int
+}
+
+func newGridFlags(name string) *gridFlags {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &gridFlags{
+		fs:       fs,
+		scale:    fs.Float64("scale", 0.1, "dataset size factor in (0,1]; 1 = paper sizes"),
+		reps:     fs.Int("reps", 3, "repetitions per cell (paper: 10)"),
+		seed:     fs.Int64("seed", 42, "master random seed"),
+		epsStr:   fs.String("eps", "", "comma-separated privacy budgets (default paper grid)"),
+		algsStr:  fs.String("algs", "", "comma-separated algorithm subset"),
+		dsStr:    fs.String("datasets", "", "comma-separated dataset subset"),
+		verbose:  fs.Bool("v", false, "print per-cell progress to stderr"),
+		parallel: fs.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS)"),
+	}
+}
+
+func (g *gridFlags) config() (core.Config, error) {
+	cfg := core.Config{
+		Scale:       *g.scale,
+		Reps:        *g.reps,
+		Seed:        *g.seed,
+		Parallelism: *g.parallel,
+	}
+	if *g.epsStr != "" {
+		for _, tok := range strings.Split(*g.epsStr, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return cfg, fmt.Errorf("bad -eps value %q: %w", tok, err)
+			}
+			cfg.Epsilons = append(cfg.Epsilons, v)
+		}
+	}
+	if *g.algsStr != "" {
+		cfg.Algorithms = splitList(*g.algsStr)
+	}
+	if *g.dsStr != "" {
+		cfg.Datasets = splitList(*g.dsStr)
+	}
+	if *g.verbose {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	return cfg, nil
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func cmdDatasets(args []string) error {
+	gf := newGridFlags("datasets")
+	if err := gf.fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %10s %10s %8s %10s %10s %8s   %s\n",
+		"Graph", "paper|V|", "paper|E|", "pACC", "|V|", "|E|", "ACC", "Type")
+	for _, spec := range datasets.All() {
+		g := spec.Load(*gf.scale, *gf.seed)
+		s := datasets.Summarize(spec, g)
+		fmt.Printf("%-10s %10d %10d %8.4f %10d %10d %8.4f   %s\n",
+			s.Name, spec.PaperNodes, spec.PaperEdges, spec.PaperACC, s.Nodes, s.Edges, s.ACC, s.Type)
+	}
+	return nil
+}
+
+func cmdGrid(which string, args []string) error {
+	gf := newGridFlags(which)
+	if err := gf.fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := gf.config()
+	if err != nil {
+		return err
+	}
+	if which == "memory" {
+		cfg.Parallelism = 1 // allocation measurement needs isolation
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+	switch which {
+	case "table7":
+		fmt.Print(res.FormatTable7())
+	case "table12":
+		fmt.Print(res.FormatTable12())
+	case "time":
+		fmt.Print(res.FormatTable9())
+	case "memory":
+		fmt.Print(res.FormatTable10())
+	case "fig2":
+		fmt.Print(res.FormatFig2())
+	case "all":
+		// one grid run, every artifact it supports (memory excluded: the
+		// allocation measurement needs a dedicated single-threaded run)
+		fmt.Println(res.FormatDatasets())
+		fmt.Println(res.FormatTable7())
+		fmt.Println(res.FormatTable12())
+		fmt.Println(res.FormatTable9())
+		fmt.Println(res.FormatFig2())
+	case "html":
+		// static results page — the offline analogue of the PGB platform
+		return core.WriteHTMLReport(os.Stdout, res)
+	case "csv":
+		return core.WriteCSV(os.Stdout, res)
+	case "stability":
+		fmt.Print(res.FormatStability())
+	case "types":
+		fmt.Print(res.FormatTypeAnalysis())
+	}
+	return nil
+}
+
+func cmdFig7(args []string) error {
+	gf := newGridFlags("fig7")
+	if err := gf.fs.Parse(args); err != nil {
+		return err
+	}
+	out, err := core.Fig7(*gf.scale, *gf.reps, *gf.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	alg := fs.String("alg", "dpdk", "which verification to run: dpdk, tmf or privskg")
+	scale := fs.Float64("scale", 0.25, "dataset size factor")
+	reps := fs.Int("reps", 3, "repetitions")
+	seed := fs.Int64("seed", 42, "master random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		out string
+		err error
+	)
+	switch *alg {
+	case "dpdk":
+		out, err = core.VerifyDPdK(*scale, *reps, *seed)
+	case "tmf":
+		out, err = core.VerifyTmF(*scale, *reps, *seed)
+	case "privskg":
+		out, err = core.VerifyPrivSKG(*scale, *seed)
+	default:
+		return fmt.Errorf("unknown -alg %q", *alg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	algName := fs.String("alg", "TmF", "algorithm name")
+	dsName := fs.String("dataset", "Facebook", "dataset name")
+	eps := fs.Float64("eps", 1.0, "privacy budget")
+	scale := fs.Float64("scale", 0.1, "dataset size factor")
+	seed := fs.Int64("seed", 42, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := datasets.ByName(*dsName)
+	if err != nil {
+		return err
+	}
+	g := spec.Load(*scale, *seed)
+	alg, err := core.NewAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	rng := randNew(*seed + 1)
+	syn, err := alg.Generate(g, *eps, rng)
+	if err != nil {
+		return err
+	}
+	return graph.WriteEdgeList(os.Stdout, syn)
+}

@@ -1,0 +1,7 @@
+package main
+
+import "math/rand"
+
+// randNew returns a seeded PRNG; isolated here so main.go stays free of a
+// direct math/rand import alongside the deterministic-seed convention.
+func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"pgb/internal/core"
+)
+
+// cmdRecommend prints mechanism-selection guidance — the paper's closing
+// contribution (§VII) turned into a tool. By default the static rules
+// distilled from the paper's findings are applied; with -measured the
+// recommendation is computed from a fresh (scaled-down) benchmark run
+// restricted to the scenario.
+func cmdRecommend(args []string) error {
+	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
+	nodes := fs.Int("nodes", 10000, "approximate graph size |V|")
+	acc := fs.Float64("acc", 0.1, "approximate average clustering coefficient")
+	eps := fs.Float64("eps", 1.0, "privacy requirement")
+	queryList := fs.String("queries", "", "comma-separated query symbols the analyst cares about (e.g. CD,Mod,DegDist)")
+	measured := fs.Bool("measured", false, "rank from a fresh benchmark run instead of the static rules")
+	scale := fs.Float64("scale", 0.05, "dataset size factor for -measured")
+	seed := fs.Int64("seed", 42, "random seed for -measured")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scenario := core.Scenario{Nodes: *nodes, ACC: *acc, Epsilon: *eps}
+	if *queryList != "" {
+		bySymbol := map[string]core.QueryID{}
+		for _, q := range core.AllQueries() {
+			bySymbol[strings.ToLower(q.String())] = q
+		}
+		for _, tok := range splitList(*queryList) {
+			q, ok := bySymbol[strings.ToLower(tok)]
+			if !ok {
+				return fmt.Errorf("unknown query symbol %q", tok)
+			}
+			scenario.Queries = append(scenario.Queries, q)
+		}
+	}
+	if *measured {
+		res, err := core.Run(core.Config{Scale: *scale, Reps: 2, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.FormatRecommendations(scenario, core.RecommendFromResults(res, scenario)))
+		return nil
+	}
+	fmt.Print(core.FormatRecommendations(scenario, core.Recommend(scenario)))
+	return nil
+}

@@ -1,0 +1,66 @@
+// Community analysis: the scenario from the paper's introduction — an
+// analyst wants to publish a social graph so that downstream community
+// detection still works, without leaking any individual friendship.
+//
+// This example publishes a strongly-clustered social graph under
+// ε ∈ {0.5, 2} with every benchmark mechanism and reports how well the
+// detected communities, the modularity, and the clustering coefficient
+// survive. It mirrors the paper's Q12/Q13 comparison (Table XII), where
+// community-aware mechanisms (PrivGraph, PrivHRG) shine.
+//
+//	go run ./examples/community_analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pgb"
+)
+
+func main() {
+	g, err := pgb.LoadDataset("Facebook", 0.1, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := pgb.Compare(g, g, 1) // self-comparison carries the true values
+	var trueMod, trueACC float64
+	for _, r := range base.Rows {
+		switch r.Query {
+		case "Mod":
+			trueMod = r.TrueValue
+		case "ACC":
+			trueACC = r.TrueValue
+		}
+	}
+	fmt.Printf("social graph: %d nodes, %d edges, modularity %.3f, ACC %.3f\n",
+		g.N(), g.M(), trueMod, trueACC)
+
+	for _, eps := range []float64{0.5, 2} {
+		fmt.Printf("\n--- ε = %g ---\n", eps)
+		fmt.Printf("%-10s %12s %12s %12s\n", "Algorithm", "CD (NMI)", "Mod (RE)", "ACC (RE)")
+		for _, alg := range pgb.Algorithms() {
+			syn, err := pgb.Generate(alg, g, eps, 31)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep := pgb.Compare(g, syn, 31)
+			var nmi, modRE, accRE float64
+			for _, r := range rep.Rows {
+				switch r.Query {
+				case "CD":
+					nmi = r.Error
+				case "Mod":
+					modRE = r.Error
+				case "ACC":
+					accRE = r.Error
+				}
+			}
+			fmt.Printf("%-10s %12.3f %12.3f %12.3f\n", alg, nmi, modRE, accRE)
+		}
+	}
+
+	fmt.Println("\nHigher NMI = communities preserved; lower RE = modularity and")
+	fmt.Println("clustering preserved. Community-aware mechanisms typically lead")
+	fmt.Println("on these queries, at the cost of other statistics.")
+}

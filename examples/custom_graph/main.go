@@ -1,0 +1,70 @@
+// Custom graph: bring your own edge list. This example builds a graph
+// directly through the public API (here: a small collaboration network
+// written inline; in practice, read it from disk), privately publishes it
+// with two mechanisms, and writes the synthetic edge lists to stdout so
+// they can be piped into downstream tooling.
+//
+//	go run ./examples/custom_graph
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pgb"
+)
+
+func main() {
+	// A synthetic "collaboration network": 8 teams of 12, dense inside,
+	// sparse across — the shape co-authorship data tends to have.
+	rng := rand.New(rand.NewSource(3))
+	const teams, size = 8, 12
+	n := teams * size
+	var edges []pgb.Edge
+	for t := 0; t < teams; t++ {
+		base := int32(t * size)
+		for a := int32(0); a < size; a++ {
+			for b := a + 1; b < size; b++ {
+				if rng.Float64() < 0.5 {
+					edges = append(edges, pgb.Edge{U: base + a, V: base + b})
+				}
+			}
+		}
+	}
+	for i := 0; i < 40; i++ { // cross-team collaborations
+		edges = append(edges, pgb.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+	}
+	g := pgb.NewGraphFromEdges(n, edges)
+	fmt.Printf("input: %d nodes, %d edges\n", g.N(), g.M())
+
+	for _, alg := range []string{"PrivGraph", "DGG"} {
+		syn, err := pgb.Generate(alg, g, 1.0, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := pgb.Compare(g, syn, 11)
+		var edgeRE, nmi float64
+		for _, r := range rep.Rows {
+			switch r.Query {
+			case "|E|":
+				edgeRE = r.Error
+			case "CD":
+				nmi = r.Error
+			}
+		}
+		fmt.Printf("\n%s at ε=1: %d edges (|E| RE %.3f, CD NMI %.3f)\n",
+			alg, syn.M(), edgeRE, nmi)
+		fmt.Printf("first 10 synthetic edges: ")
+		for i, e := range syn.Edges() {
+			if i == 10 {
+				break
+			}
+			fmt.Printf("%d-%d ", e.U, e.V)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nThe synthetic graphs satisfy ε-Edge-CDP: any single")
+	fmt.Println("collaboration can be denied; aggregate structure survives.")
+}

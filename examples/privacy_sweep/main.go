@@ -1,0 +1,53 @@
+// Privacy sweep: how does each mechanism's utility respond to the privacy
+// budget? This reproduces the shape of the paper's Fig. 2 on one dataset:
+// for every algorithm and every ε in the PGB grid, it reports the error
+// on three representative queries (triangle count, degree distribution,
+// community detection).
+//
+// The paper's headline finding — there is no one-size-fits-all mechanism;
+// degree-based methods win at small ε while TmF overtakes as ε grows —
+// is visible directly in the printed series.
+//
+//	go run ./examples/privacy_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pgb"
+)
+
+func main() {
+	const dataset = "Wiki"
+	g, err := pgb.LoadDataset(dataset, 0.08, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s at demo scale: %d nodes, %d edges\n", dataset, g.N(), g.M())
+
+	queries := map[string]bool{"Tri": true, "DegDist": true, "CD": true}
+
+	for _, alg := range pgb.Algorithms() {
+		fmt.Printf("\n=== %s ===\n", alg)
+		fmt.Printf("%-10s %10s %10s %10s\n", "eps", "Tri(RE)", "DegDist(KL)", "CD(NMI)")
+		for _, eps := range pgb.Epsilons() {
+			syn, err := pgb.Generate(alg, g, eps, 7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep := pgb.Compare(g, syn, 7)
+			row := map[string]float64{}
+			for _, r := range rep.Rows {
+				if queries[r.Query] {
+					row[r.Query] = r.Error
+				}
+			}
+			fmt.Printf("%-10g %10.3f %10.3f %10.3f\n", eps, row["Tri"], row["DegDist"], row["CD"])
+		}
+	}
+
+	fmt.Println("\nReading the table: errors (first two columns) should fall as ε")
+	fmt.Println("grows; NMI (last column) should rise. Compare algorithms at the")
+	fmt.Println("same ε to pick a mechanism for your privacy requirement.")
+}

@@ -1,0 +1,32 @@
+// Package algo defines the common contract for PGB's differentially
+// private synthetic-graph generation algorithms. Every mechanism — DP-dK,
+// TmF, PrivSKG, PrivHRG, PrivGraph, DGG and the DER appendix baseline —
+// implements Generator and follows the paper's three-stage framework:
+// representation, perturbation, construction.
+package algo
+
+import (
+	"math/rand"
+
+	"pgb/internal/graph"
+)
+
+// Generator is a differentially private synthetic-graph generator.
+// Generate consumes the input graph and a total privacy budget ε and
+// returns a synthetic graph over the same node universe. Implementations
+// satisfy ε-Edge-CDP (or (ε, δ)-Edge-CDP where Delta() > 0), composing
+// their internal stages sequentially within ε.
+type Generator interface {
+	// Name returns the canonical algorithm name used in tables
+	// ("DP-dK", "TmF", ...).
+	Name() string
+	// Generate produces a synthetic graph from g under budget eps.
+	// All randomness (both DP noise and construction sampling) is drawn
+	// from rng, so runs are reproducible from a seed.
+	Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.Graph, error)
+	// Delta returns the δ of the (ε, δ) guarantee; 0 means pure ε-DP.
+	Delta() float64
+	// Complexity returns the theoretical time and space complexity
+	// (Table VIII of the paper) as human-readable strings.
+	Complexity() (time, space string)
+}

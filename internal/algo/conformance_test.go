@@ -1,0 +1,147 @@
+package algo_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgb/internal/algo"
+	"pgb/internal/algo/der"
+	"pgb/internal/algo/dgg"
+	"pgb/internal/algo/dpdk"
+	"pgb/internal/algo/privgraph"
+	"pgb/internal/algo/privhrg"
+	"pgb/internal/algo/privskg"
+	"pgb/internal/algo/tmf"
+	"pgb/internal/gen"
+	"pgb/internal/graph"
+)
+
+func generators() []algo.Generator {
+	return []algo.Generator{
+		dpdk.Default(),
+		tmf.Default(),
+		privskg.Default(),
+		privhrg.Default(),
+		privgraph.Default(),
+		dgg.Default(),
+		der.Default(),
+	}
+}
+
+func testGraph(seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	return gen.PlantedPartition(150, 4, 0.35, 0.02, r)
+}
+
+// Every generator must return a valid simple graph over the same node
+// universe, at both a tight and a loose budget.
+func TestConformanceValidOutput(t *testing.T) {
+	g := testGraph(5)
+	for _, a := range generators() {
+		for _, eps := range []float64{0.5, 10} {
+			r := rand.New(rand.NewSource(23))
+			syn, err := a.Generate(g, eps, r)
+			if err != nil {
+				t.Errorf("%s eps=%g: %v", a.Name(), eps, err)
+				continue
+			}
+			if syn.N() != g.N() {
+				t.Errorf("%s eps=%g: n=%d, want %d", a.Name(), eps, syn.N(), g.N())
+			}
+			if err := syn.Validate(); err != nil {
+				t.Errorf("%s eps=%g: invalid output: %v", a.Name(), eps, err)
+			}
+		}
+	}
+}
+
+// Same seed, same output — the reproducibility contract.
+func TestConformanceDeterminism(t *testing.T) {
+	g := testGraph(6)
+	for _, a := range generators() {
+		s1, err := a.Generate(g, 1, rand.New(rand.NewSource(77)))
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		s2, err := a.Generate(g, 1, rand.New(rand.NewSource(77)))
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if s1.M() != s2.M() {
+			t.Errorf("%s: non-deterministic edge count %d vs %d", a.Name(), s1.M(), s2.M())
+			continue
+		}
+		e1, e2 := s1.Edges(), s2.Edges()
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Errorf("%s: non-deterministic edges", a.Name())
+				break
+			}
+		}
+	}
+}
+
+// At a huge budget, every algorithm should land near the true edge count
+// (the loosest common utility expectation; DER's quadtree is coarser, so
+// it gets a wider band).
+func TestConformanceHighBudgetEdgeCount(t *testing.T) {
+	g := testGraph(7)
+	m := float64(g.M())
+	for _, a := range generators() {
+		r := rand.New(rand.NewSource(31))
+		syn, err := a.Generate(g, 100, r)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		tol := 0.35
+		if a.Name() == "DER" || a.Name() == "DP-dK" {
+			tol = 0.8
+		}
+		if d := float64(syn.M()); d < m*(1-tol) || d > m*(1+tol) {
+			t.Errorf("%s at eps=100: m=%d, true %d (tolerance %g)", a.Name(), syn.M(), g.M(), tol)
+		}
+	}
+}
+
+// Names, deltas and complexity strings must be populated and stable.
+func TestConformanceMetadata(t *testing.T) {
+	wantDelta := map[string]float64{
+		"DP-dK": 0.01, "TmF": 0, "PrivSKG": 0.01,
+		"PrivHRG": 0, "PrivGraph": 0, "DGG": 0, "DER": 0,
+	}
+	for _, a := range generators() {
+		if a.Name() == "" {
+			t.Error("empty name")
+		}
+		if d, ok := wantDelta[a.Name()]; !ok || a.Delta() != d {
+			t.Errorf("%s: delta = %g, want %g", a.Name(), a.Delta(), d)
+		}
+		tc, sc := a.Complexity()
+		if tc == "" || sc == "" {
+			t.Errorf("%s: empty complexity", a.Name())
+		}
+	}
+}
+
+// Tiny graphs (n = 0, 1, 2) must not panic.
+func TestConformanceTinyGraphs(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		var g *graph.Graph
+		if n == 2 {
+			g = graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+		} else {
+			g = graph.New(n)
+		}
+		for _, a := range generators() {
+			r := rand.New(rand.NewSource(3))
+			syn, err := a.Generate(g, 1, r)
+			if err != nil {
+				t.Errorf("%s n=%d: %v", a.Name(), n, err)
+				continue
+			}
+			if syn.N() != n {
+				t.Errorf("%s n=%d: output n=%d", a.Name(), n, syn.N())
+			}
+		}
+	}
+}

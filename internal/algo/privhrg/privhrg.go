@@ -1,0 +1,363 @@
+// Package privhrg implements PrivHRG (Xiao, Chen & Tan, KDD 2014):
+// differentially private network release via structural inference over
+// hierarchical random graphs.
+//
+// Representation: a hierarchical random graph (HRG) dendrogram (Clauset,
+// Moore & Newman 2008) — a binary tree whose n leaves are the graph's
+// nodes; each internal node r records the number of edges e_r crossing
+// between its left and right subtrees, defining a connection probability
+// p_r = e_r / (n_L·n_R). Perturbation: the dendrogram itself is sampled
+// privately by Markov-Chain Monte Carlo whose stationary distribution is
+// the exponential mechanism over the HRG log-likelihood (budget ε1);
+// afterwards the per-node edge counts receive Laplace noise of sensitivity
+// 1 (budget ε2 — an edge flip changes exactly one e_r, at the endpoints'
+// lowest common ancestor). Construction: for every internal node, a
+// binomial number of cross edges is sampled between its two leaf sets at
+// probability p̃_r.
+package privhrg
+
+import (
+	"math"
+	"math/rand"
+
+	"pgb/internal/dp"
+	"pgb/internal/graph"
+)
+
+// Options configures PrivHRG.
+type Options struct {
+	// MCMCSteps is the number of Metropolis steps; <= 0 selects
+	// min(40·n, 60000).
+	MCMCSteps int
+	// StructureFraction is the share of ε spent sampling the dendrogram
+	// (ε1); the rest perturbs edge counts (ε2). Default 0.5.
+	StructureFraction float64
+}
+
+// PrivHRG is the hierarchical-random-graph generator.
+type PrivHRG struct {
+	opt Options
+}
+
+// New returns a PrivHRG generator with the given options.
+func New(opt Options) *PrivHRG {
+	if opt.StructureFraction <= 0 || opt.StructureFraction >= 1 {
+		opt.StructureFraction = 0.5
+	}
+	return &PrivHRG{opt: opt}
+}
+
+// Default returns PrivHRG with the paper's parameterisation.
+func Default() *PrivHRG { return New(Options{}) }
+
+// Name implements algo.Generator.
+func (p *PrivHRG) Name() string { return "PrivHRG" }
+
+// Delta implements algo.Generator; PrivHRG is pure ε-DP.
+func (p *PrivHRG) Delta() float64 { return 0 }
+
+// Complexity implements algo.Generator (Table VIII).
+func (p *PrivHRG) Complexity() (string, string) { return "O(n^2 log n)", "O(m + n)" }
+
+// dendrogram over n leaves: nodes 0..n-1 are leaves, n..2n-2 internal.
+type dendrogram struct {
+	n       int
+	parent  []int32
+	left    []int32 // children (internal nodes only; -1 for leaves)
+	right   []int32
+	nLeaves []int32
+	e       []float64 // crossing edge count (internal nodes)
+	root    int32
+	g       *graph.Graph
+}
+
+func newDendrogram(g *graph.Graph, rng *rand.Rand) *dendrogram {
+	n := g.N()
+	total := 2*n - 1
+	d := &dendrogram{
+		n:       n,
+		parent:  make([]int32, total),
+		left:    make([]int32, total),
+		right:   make([]int32, total),
+		nLeaves: make([]int32, total),
+		e:       make([]float64, total),
+		g:       g,
+	}
+	for i := range d.left {
+		d.left[i] = -1
+		d.right[i] = -1
+		d.parent[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		d.nLeaves[i] = 1
+	}
+	// random balanced tree over a shuffled leaf order
+	leaves := make([]int32, n)
+	for i := range leaves {
+		leaves[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { leaves[i], leaves[j] = leaves[j], leaves[i] })
+	next := int32(n)
+	var build func(lo, hi int) int32
+	build = func(lo, hi int) int32 {
+		if hi-lo == 1 {
+			return leaves[lo]
+		}
+		mid := (lo + hi) / 2
+		l := build(lo, mid)
+		r := build(mid, hi)
+		id := next
+		next++
+		d.left[id] = l
+		d.right[id] = r
+		d.parent[l] = id
+		d.parent[r] = id
+		d.nLeaves[id] = d.nLeaves[l] + d.nLeaves[r]
+		return id
+	}
+	d.root = build(0, n)
+	d.recountEdges()
+	return d
+}
+
+// recountEdges recomputes all crossing counts from scratch via LCA.
+func (d *dendrogram) recountEdges() {
+	for i := range d.e {
+		d.e[i] = 0
+	}
+	depth := make([]int32, len(d.parent))
+	var computeDepth func(u int32) int32
+	computeDepth = func(u int32) int32 {
+		if depth[u] != 0 || u == d.root {
+			return depth[u]
+		}
+		depth[u] = computeDepth(d.parent[u]) + 1
+		return depth[u]
+	}
+	for i := range depth {
+		computeDepth(int32(i))
+	}
+	for _, e := range d.g.Edges() {
+		d.e[d.lca(e.U, e.V, depth)]++
+	}
+}
+
+func (d *dendrogram) lca(u, v int32, depth []int32) int32 {
+	for depth[u] > depth[v] {
+		u = d.parent[u]
+	}
+	for depth[v] > depth[u] {
+		v = d.parent[v]
+	}
+	for u != v {
+		u = d.parent[u]
+		v = d.parent[v]
+	}
+	return u
+}
+
+// collectLeaves appends the leaves under node u to out.
+func (d *dendrogram) collectLeaves(u int32, out []int32) []int32 {
+	if u < int32(d.n) {
+		return append(out, u)
+	}
+	out = d.collectLeaves(d.left[u], out)
+	return d.collectLeaves(d.right[u], out)
+}
+
+// edgesBetween counts graph edges between the leaf sets of subtrees a and
+// s by marking the smaller side and scanning neighbor lists.
+func (d *dendrogram) edgesBetween(a, s int32, mark []bool) float64 {
+	if d.nLeaves[a] > d.nLeaves[s] {
+		a, s = s, a
+	}
+	la := d.collectLeaves(a, nil)
+	ls := d.collectLeaves(s, nil)
+	for _, u := range ls {
+		mark[u] = true
+	}
+	cnt := 0.0
+	for _, u := range la {
+		for _, v := range d.g.Neighbors(u) {
+			if mark[v] {
+				cnt++
+			}
+		}
+	}
+	for _, u := range ls {
+		mark[u] = false
+	}
+	return cnt
+}
+
+// termLL is one internal node's log-likelihood contribution:
+// e·ln p + (nl·nr − e)·ln(1−p) with p = e/(nl·nr) and 0·ln 0 = 0.
+func termLL(e, pairs float64) float64 {
+	if pairs <= 0 {
+		return 0
+	}
+	p := e / pairs
+	ll := 0.0
+	if p > 0 {
+		ll += e * math.Log(p)
+	}
+	if p < 1 {
+		ll += (pairs - e) * math.Log(1-p)
+	}
+	return ll
+}
+
+func (d *dendrogram) pairs(r int32) float64 {
+	return float64(d.nLeaves[d.left[r]]) * float64(d.nLeaves[d.right[r]])
+}
+
+// Generate implements algo.Generator.
+func (p *PrivHRG) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.Graph, error) {
+	acct := dp.NewAccountant(eps)
+	eps1 := eps * p.opt.StructureFraction
+	eps2 := eps - eps1
+	if err := acct.Spend(eps1); err != nil {
+		return nil, err
+	}
+	if err := acct.Spend(eps2); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	if n < 2 {
+		return graph.New(n), nil
+	}
+	d := newDendrogram(g, rng)
+
+	steps := p.opt.MCMCSteps
+	if steps <= 0 {
+		steps = 40 * n
+		if steps > 60000 {
+			steps = 60000
+		}
+	}
+	// Sensitivity of the HRG log-likelihood under a one-edge change
+	// (Xiao et al.): bounded by 2·ln n for n ≥ 2.
+	sens := 2 * math.Log(float64(n))
+	if sens < 1 {
+		sens = 1
+	}
+	mark := make([]bool, n)
+
+	for step := 0; step < steps; step++ {
+		// pick a random internal node other than the root
+		r := int32(n) + int32(rng.Intn(n-1))
+		if r == d.root {
+			continue
+		}
+		par := d.parent[r]
+		var sib int32
+		if d.left[par] == r {
+			sib = d.right[par]
+		} else {
+			sib = d.left[par]
+		}
+		a, bb := d.left[r], d.right[r]
+		// choose which child to swap with the sibling
+		swapChild := a
+		keepChild := bb
+		if rng.Intn(2) == 1 {
+			swapChild, keepChild = bb, a
+		}
+		// current terms
+		pairsR := d.pairs(r)
+		pairsP := d.pairs(par)
+		oldLL := termLL(d.e[r], pairsR) + termLL(d.e[par], pairsP)
+		// new configuration: r' = (keepChild, sib), par' = (r', swapChild)
+		x := d.edgesBetween(keepChild, sib, mark) // e(keep, sib)
+		eRnew := x
+		// e_par = e(keep∪swap, sib) = e(keep,sib) + e(swap,sib), so
+		// e(swap,sib) = e_par − x; the new parent crosses keep∪sib with
+		// swap: e(keep,swap) + e(sib,swap) = e_r + (e_par − x).
+		ePnew := d.e[r] + d.e[par] - x
+		nKeep := float64(d.nLeaves[keepChild])
+		nSwap := float64(d.nLeaves[swapChild])
+		nSib := float64(d.nLeaves[sib])
+		pairsRnew := nKeep * nSib
+		pairsPnew := (nKeep + nSib) * nSwap
+		newLL := termLL(eRnew, pairsRnew) + termLL(ePnew, pairsPnew)
+		// exponential-mechanism Metropolis acceptance
+		delta := newLL - oldLL
+		if delta < 0 && rng.Float64() >= math.Exp(eps1*delta/(2*sens)) {
+			continue
+		}
+		// apply the swap: swapChild and sib exchange parents
+		d.left[r] = keepChild
+		d.right[r] = sib
+		d.parent[sib] = r
+		if d.left[par] == r {
+			d.right[par] = swapChild
+		} else {
+			d.left[par] = swapChild
+		}
+		d.parent[swapChild] = par
+		d.e[r] = eRnew
+		d.e[par] = ePnew
+		d.nLeaves[r] = int32(nKeep + nSib)
+		// nLeaves[par] unchanged (same leaf set)
+	}
+
+	// Perturb crossing counts: sensitivity 1 (one edge maps to one LCA).
+	// Then sample cross edges per internal node at probability p̃_r.
+	b := graph.NewBuilder(n)
+	var emit func(u int32) []int32
+	emit = func(u int32) []int32 {
+		if u < int32(d.n) {
+			return []int32{u}
+		}
+		lL := emit(d.left[u])
+		lR := emit(d.right[u])
+		pairs := float64(len(lL)) * float64(len(lR))
+		noisyE := d.e[u] + dp.Laplace(rng, 1/eps2)
+		prob := noisyE / pairs
+		if prob < 0 {
+			prob = 0
+		}
+		if prob > 1 {
+			prob = 1
+		}
+		count := sampleBinomial(rng, pairs, prob)
+		for i := 0; i < count; i++ {
+			uu := lL[rng.Intn(len(lL))]
+			vv := lR[rng.Intn(len(lR))]
+			_ = b.AddEdge(uu, vv)
+		}
+		return append(lL, lR...)
+	}
+	emit(d.root)
+	return b.Build(), nil
+}
+
+// sampleBinomial draws Binomial(n, p) — exactly for small n, by normal
+// approximation for large n.
+func sampleBinomial(rng *rand.Rand, n, p float64) int {
+	if p <= 0 || n <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return int(n)
+	}
+	if n <= 64 {
+		c := 0
+		for i := 0; i < int(n); i++ {
+			if rng.Float64() < p {
+				c++
+			}
+		}
+		return c
+	}
+	mean := n * p
+	std := math.Sqrt(n * p * (1 - p))
+	v := int(math.Round(mean + rng.NormFloat64()*std))
+	if v < 0 {
+		v = 0
+	}
+	if float64(v) > n {
+		v = int(n)
+	}
+	return v
+}

@@ -1,0 +1,235 @@
+// Package community implements Louvain modularity optimisation
+// (Blondel et al. 2008). It serves two roles in PGB: the community
+// detection query Q12 evaluated on true and synthetic graphs, and the
+// non-private community phase inside the PrivGraph algorithm.
+package community
+
+import (
+	"math/rand"
+	"sort"
+
+	"pgb/internal/graph"
+)
+
+// Result holds a detected partition: Labels[u] is the community of node u,
+// with labels compacted to 0..NumCommunities-1.
+type Result struct {
+	Labels         []int
+	NumCommunities int
+	Modularity     float64
+}
+
+// weighted multigraph used for Louvain aggregation levels.
+type wgraph struct {
+	n        int
+	adj      []map[int]float64 // neighbor -> weight (self loop = intra weight*2)
+	selfLoop []float64
+	totalW   float64 // sum of edge weights (each undirected edge once), incl. self loops
+}
+
+func fromGraph(g *graph.Graph) *wgraph {
+	w := &wgraph{n: g.N(), adj: make([]map[int]float64, g.N()), selfLoop: make([]float64, g.N())}
+	for u := 0; u < g.N(); u++ {
+		w.adj[u] = make(map[int]float64, g.Degree(int32(u)))
+		for _, v := range g.Neighbors(int32(u)) {
+			w.adj[u][int(v)] = 1
+		}
+	}
+	w.totalW = float64(g.M())
+	return w
+}
+
+func (w *wgraph) degree(u int) float64 {
+	d := w.selfLoop[u] * 2
+	for _, wt := range w.adj[u] {
+		d += wt
+	}
+	return d
+}
+
+// Louvain runs the two-phase Louvain algorithm to convergence and returns
+// the final partition on the original nodes. The node visit order is
+// shuffled with rng, so different seeds may yield different (valid) local
+// optima; passing a fixed seed makes detection deterministic.
+func Louvain(g *graph.Graph, rng *rand.Rand) Result {
+	n := g.N()
+	if n == 0 {
+		return Result{Labels: []int{}, NumCommunities: 0}
+	}
+	if g.M() == 0 {
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		return Result{Labels: labels, NumCommunities: n}
+	}
+
+	w := fromGraph(g)
+	// mapping from original node -> current community label chain
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = i
+	}
+
+	for level := 0; level < 64; level++ {
+		comm, moved := localMove(w, rng)
+		if !moved && level > 0 {
+			break
+		}
+		// compact community ids
+		remap := make(map[int]int)
+		for _, c := range comm {
+			if _, ok := remap[c]; !ok {
+				remap[c] = len(remap)
+			}
+		}
+		for i := range comm {
+			comm[i] = remap[comm[i]]
+		}
+		// update assignment of original nodes
+		for i := range assign {
+			assign[i] = comm[assign[i]]
+		}
+		if len(remap) == w.n {
+			break // no aggregation happened
+		}
+		w = aggregate(w, comm, len(remap))
+		if !moved {
+			break
+		}
+	}
+
+	// compact final labels
+	remap := make(map[int]int)
+	for _, c := range assign {
+		if _, ok := remap[c]; !ok {
+			remap[c] = len(remap)
+		}
+	}
+	labels := make([]int, n)
+	for i, c := range assign {
+		labels[i] = remap[c]
+	}
+	return Result{
+		Labels:         labels,
+		NumCommunities: len(remap),
+		Modularity:     modularityOf(g, labels),
+	}
+}
+
+// localMove is Louvain phase one: greedily move nodes to the neighboring
+// community with the highest modularity gain until no move improves.
+func localMove(w *wgraph, rng *rand.Rand) ([]int, bool) {
+	n := w.n
+	comm := make([]int, n)
+	commTotDeg := make([]float64, n) // Σ degree of nodes in community
+	deg := make([]float64, n)
+	for u := 0; u < n; u++ {
+		comm[u] = u
+		deg[u] = w.degree(u)
+		commTotDeg[u] = deg[u]
+	}
+	m2 := 2 * w.totalW
+	if m2 == 0 {
+		return comm, false
+	}
+
+	order := rng.Perm(n)
+	movedAny := false
+	for pass := 0; pass < 32; pass++ {
+		movedThisPass := false
+		for _, u := range order {
+			cu := comm[u]
+			// weight from u to each neighboring community
+			nbw := make(map[int]float64)
+			for v, wt := range w.adj[u] {
+				if v == u {
+					continue
+				}
+				nbw[comm[v]] += wt
+			}
+			// remove u from its community
+			commTotDeg[cu] -= deg[u]
+			bestC, bestGain := cu, 0.0
+			baseW := nbw[cu]
+			baseGain := baseW - commTotDeg[cu]*deg[u]/m2
+			// evaluate candidate communities in sorted order so
+			// tie-breaking — and hence the whole run — is deterministic
+			cands := make([]int, 0, len(nbw))
+			for c := range nbw {
+				cands = append(cands, c)
+			}
+			sort.Ints(cands)
+			for _, c := range cands {
+				gain := nbw[c] - commTotDeg[c]*deg[u]/m2
+				if gain-baseGain > bestGain+1e-12 {
+					bestGain = gain - baseGain
+					bestC = c
+				}
+			}
+			comm[u] = bestC
+			commTotDeg[bestC] += deg[u]
+			if bestC != cu {
+				movedThisPass = true
+				movedAny = true
+			}
+		}
+		if !movedThisPass {
+			break
+		}
+	}
+	return comm, movedAny
+}
+
+// aggregate is Louvain phase two: collapse each community into a super
+// node, preserving edge weights and intra-community weight as self loops.
+func aggregate(w *wgraph, comm []int, k int) *wgraph {
+	out := &wgraph{n: k, adj: make([]map[int]float64, k), selfLoop: make([]float64, k), totalW: w.totalW}
+	for i := 0; i < k; i++ {
+		out.adj[i] = make(map[int]float64)
+	}
+	for u := 0; u < w.n; u++ {
+		cu := comm[u]
+		out.selfLoop[cu] += w.selfLoop[u]
+		for v, wt := range w.adj[u] {
+			cv := comm[v]
+			if cu == cv {
+				if u < v {
+					out.selfLoop[cu] += wt
+				}
+			} else {
+				out.adj[cu][cv] += wt
+			}
+		}
+	}
+	return out
+}
+
+func modularityOf(g *graph.Graph, labels []int) float64 {
+	m := float64(g.M())
+	if m == 0 {
+		return 0
+	}
+	maxL := 0
+	for _, l := range labels {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	intra := make([]float64, maxL+1)
+	degSum := make([]float64, maxL+1)
+	for u := 0; u < g.N(); u++ {
+		lu := labels[u]
+		degSum[lu] += float64(g.Degree(int32(u)))
+		for _, v := range g.Neighbors(int32(u)) {
+			if int32(u) < v && labels[v] == lu {
+				intra[lu]++
+			}
+		}
+	}
+	q := 0.0
+	for c := range intra {
+		q += intra[c]/m - (degSum[c]/(2*m))*(degSum[c]/(2*m))
+	}
+	return q
+}

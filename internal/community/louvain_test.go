@@ -1,0 +1,138 @@
+package community
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pgb/internal/gen"
+	"pgb/internal/graph"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(11)) }
+
+func TestLouvainTwoCliques(t *testing.T) {
+	// two K5s joined by a single edge: Louvain must find the two cliques
+	var edges []graph.Edge
+	for a := int32(0); a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			edges = append(edges, graph.Edge{U: a, V: b})
+			edges = append(edges, graph.Edge{U: a + 5, V: b + 5})
+		}
+	}
+	edges = append(edges, graph.Edge{U: 4, V: 5})
+	g := graph.FromEdges(10, edges)
+	res := Louvain(g, rng())
+	if res.NumCommunities != 2 {
+		t.Fatalf("communities = %d, want 2 (labels %v)", res.NumCommunities, res.Labels)
+	}
+	for i := 1; i < 5; i++ {
+		if res.Labels[i] != res.Labels[0] {
+			t.Fatalf("clique 1 split: %v", res.Labels)
+		}
+		if res.Labels[i+5] != res.Labels[5] {
+			t.Fatalf("clique 2 split: %v", res.Labels)
+		}
+	}
+	if res.Labels[0] == res.Labels[5] {
+		t.Fatalf("cliques merged: %v", res.Labels)
+	}
+	if res.Modularity < 0.3 {
+		t.Fatalf("modularity = %g, want > 0.3", res.Modularity)
+	}
+}
+
+func TestLouvainEmptyAndEdgeless(t *testing.T) {
+	res := Louvain(graph.New(0), rng())
+	if res.NumCommunities != 0 {
+		t.Fatalf("empty graph: %d communities", res.NumCommunities)
+	}
+	res = Louvain(graph.New(4), rng())
+	if res.NumCommunities != 4 {
+		t.Fatalf("edgeless graph: %d communities, want 4 singletons", res.NumCommunities)
+	}
+}
+
+func TestLouvainPlantedPartition(t *testing.T) {
+	r := rng()
+	g := gen.PlantedPartition(120, 4, 0.5, 0.01, r)
+	res := Louvain(g, r)
+	if res.NumCommunities < 3 || res.NumCommunities > 8 {
+		t.Fatalf("communities = %d, want near 4", res.NumCommunities)
+	}
+	if res.Modularity < 0.4 {
+		t.Fatalf("modularity = %g, want > 0.4", res.Modularity)
+	}
+}
+
+func TestLouvainDeterministicForSeed(t *testing.T) {
+	g := gen.PlantedPartition(80, 4, 0.5, 0.02, rng())
+	a := Louvain(g, rand.New(rand.NewSource(99)))
+	b := Louvain(g, rand.New(rand.NewSource(99)))
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("Louvain not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestLouvainLabelsCompact(t *testing.T) {
+	g := gen.PlantedPartition(60, 3, 0.6, 0.02, rng())
+	res := Louvain(g, rng())
+	seen := map[int]bool{}
+	maxL := 0
+	for _, l := range res.Labels {
+		seen[l] = true
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if len(seen) != res.NumCommunities || maxL != res.NumCommunities-1 {
+		t.Fatalf("labels not compact: %d distinct, max %d, reported %d",
+			len(seen), maxL, res.NumCommunities)
+	}
+}
+
+// property: Louvain labels are valid (in range) and modularity is in
+// [-0.5, 1] for arbitrary random graphs.
+func TestQuickLouvainValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(40)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			_ = b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+		}
+		g := b.Build()
+		res := Louvain(g, r)
+		if len(res.Labels) != n {
+			return false
+		}
+		for _, l := range res.Labels {
+			if l < 0 || l >= res.NumCommunities {
+				return false
+			}
+		}
+		return res.Modularity >= -0.5-1e-9 && res.Modularity <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// property: Louvain's reported modularity is never worse than the trivial
+// single-community partition (which scores ~0) minus tolerance.
+func TestQuickLouvainBeatsTrivial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := gen.PlantedPartition(40+r.Intn(40), 3, 0.4, 0.02, r)
+		if g.M() == 0 {
+			return true
+		}
+		res := Louvain(g, r)
+		return res.Modularity >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

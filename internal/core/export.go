@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports the raw benchmark cells as CSV — one row per
+// (algorithm, dataset, ε, query) with the mean error and its standard
+// deviation across repetitions. This is the machine-readable feed behind
+// the tables, suitable for external plotting or for submission to a
+// results platform.
+func WriteCSV(w io.Writer, r *Results) error {
+	cw := csv.NewWriter(w)
+	header := []string{"algorithm", "dataset", "epsilon", "query", "metric", "mean_error", "stddev", "gen_seconds", "gen_bytes"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Err != nil {
+			continue
+		}
+		for _, q := range AllQueries() {
+			rec := []string{
+				c.Algorithm,
+				c.Dataset,
+				strconv.FormatFloat(c.Epsilon, 'g', -1, 64),
+				q.String(),
+				q.Metric(),
+				strconv.FormatFloat(c.Errors[q-1], 'g', 8, 64),
+				strconv.FormatFloat(c.StdDev[q-1], 'g', 8, 64),
+				strconv.FormatFloat(c.GenSeconds, 'g', 6, 64),
+				strconv.FormatFloat(c.GenBytes, 'g', 6, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatStability renders a stability table: the mean coefficient of
+// variation (stddev / mean) per algorithm over all cells and queries —
+// quantifying the paper's observation that "utility can differ
+// significantly under the same combination" due to mechanism randomness.
+func (r *Results) FormatStability() string {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	per := map[string]*acc{}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Err != nil {
+			continue
+		}
+		a := per[c.Algorithm]
+		if a == nil {
+			a = &acc{}
+			per[c.Algorithm] = a
+		}
+		for q := 0; q < NumQueries; q++ {
+			if c.Errors[q] > 1e-9 {
+				a.sum += c.StdDev[q] / c.Errors[q]
+				a.n++
+			}
+		}
+	}
+	out := "Stability — mean coefficient of variation across cells (lower = more repeatable)\n"
+	for _, alg := range r.Config.Algorithms {
+		a := per[alg]
+		if a == nil || a.n == 0 {
+			out += fmt.Sprintf("%-10s %8s\n", alg, "-")
+			continue
+		}
+		out += fmt.Sprintf("%-10s %8.3f\n", alg, a.sum/float64(a.n))
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Reps = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 1 + len(res.Cells)*NumQueries
+	if len(rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(rows), wantRows)
+	}
+	if rows[0][0] != "algorithm" || rows[0][6] != "stddev" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if _, err := strconv.ParseFloat(row[5], 64); err != nil {
+			t.Fatalf("bad mean_error %q", row[5])
+		}
+		if _, err := strconv.ParseFloat(row[6], 64); err != nil {
+			t.Fatalf("bad stddev %q", row[6])
+		}
+	}
+}
+
+func TestStdDevPopulatedWithReps(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Reps = 3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	any := false
+	for i := range res.Cells {
+		for q := 0; q < NumQueries; q++ {
+			if res.Cells[i].StdDev[q] > 0 {
+				any = true
+			}
+			if res.Cells[i].StdDev[q] < 0 {
+				t.Fatal("negative stddev")
+			}
+		}
+	}
+	if !any {
+		t.Fatal("no positive stddev across a 3-rep randomized grid")
+	}
+}
+
+func TestFormatStability(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Reps = 3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.FormatStability()
+	for _, alg := range cfg.Algorithms {
+		if !strings.Contains(out, alg) {
+			t.Fatalf("stability output missing %s:\n%s", alg, out)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pgb/internal/metrics"
+)
+
+// ExtendedRow is one (query, metric) pair of the extended utility report.
+type ExtendedRow struct {
+	Query        QueryID
+	Metric       string
+	Value        float64
+	HigherBetter bool
+}
+
+// ExtendedCompare scores the synthetic profile with every metric Table IV
+// lists for each query — not only the headline metric the best-count
+// tables use. Degree and distance distributions additionally get
+// Hellinger distance and the Kolmogorov-Smirnov statistic; community
+// detection additionally gets ARI, AMI and the average F1 score; the
+// clustering and centrality vectors get MSE/MAE companions.
+func ExtendedCompare(truth, syn *Profile) []ExtendedRow {
+	rows := make([]ExtendedRow, 0, 24)
+	add := func(q QueryID, metric string, v float64, higher bool) {
+		rows = append(rows, ExtendedRow{Query: q, Metric: metric, Value: v, HigherBetter: higher})
+	}
+	// headline metrics first, in query order
+	for _, q := range AllQueries() {
+		v, higher := Score(q, truth, syn)
+		add(q, q.Metric(), v, higher)
+	}
+	// companions per Table IV
+	add(QDegreeDistribution, "HD", metrics.HellingerDistance(truth.DegreeDist, syn.DegreeDist), false)
+	add(QDegreeDistribution, "KS", metrics.KolmogorovSmirnov(truth.DegreeDist, syn.DegreeDist), false)
+	add(QDistanceDistribution, "HD", metrics.HellingerDistance(truth.DistanceDist, syn.DistanceDist), false)
+	add(QDistanceDistribution, "KS", metrics.KolmogorovSmirnov(truth.DistanceDist, syn.DistanceDist), false)
+	add(QCommunityDetection, "ARI", metrics.ARI(truth.CommunityLabels, syn.CommunityLabels), true)
+	add(QCommunityDetection, "AMI", metrics.AMI(truth.CommunityLabels, syn.CommunityLabels), true)
+	add(QCommunityDetection, "AvgF1", metrics.AvgF1(truth.CommunityLabels, syn.CommunityLabels), true)
+	add(QEigenvectorCentrality, "MSE", metrics.MeanSquareError(truth.EVC, syn.EVC), false)
+	add(QNumEdges, "MRE", metrics.MeanRelativeError(
+		[]float64{truth.NumNodes, truth.NumEdges, truth.Triangles},
+		[]float64{syn.NumNodes, syn.NumEdges, syn.Triangles}), false)
+	return rows
+}
+
+// FormatExtended renders the extended report as an aligned table.
+func FormatExtended(rows []ExtendedRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-7s %12s   %s\n", "Query", "Metric", "Value", "Direction")
+	for _, r := range rows {
+		dir := "lower is better"
+		if r.HigherBetter {
+			dir = "higher is better"
+		}
+		fmt.Fprintf(&sb, "%-10s %-7s %12.4f   %s\n", r.Query.String(), r.Metric, r.Value, dir)
+	}
+	return sb.String()
+}

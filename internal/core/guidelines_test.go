@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecommendHighBudgetPrefersTmF(t *testing.T) {
+	recs := Recommend(Scenario{Nodes: 5000, ACC: 0.1, Epsilon: 10})
+	if len(recs) == 0 || recs[0].Algorithm != "TmF" {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestRecommendHighACCPrefersDGG(t *testing.T) {
+	recs := Recommend(Scenario{Nodes: 4000, ACC: 0.6, Epsilon: 1})
+	if recs[0].Algorithm != "DGG" {
+		t.Fatalf("recs[0] = %+v", recs[0])
+	}
+}
+
+func TestRecommendCommunityQueries(t *testing.T) {
+	recs := Recommend(Scenario{Nodes: 4000, ACC: 0.3, Epsilon: 2,
+		Queries: []QueryID{QCommunityDetection, QModularity}})
+	if recs[0].Algorithm != "PrivGraph" {
+		t.Fatalf("recs[0] = %+v", recs[0])
+	}
+}
+
+func TestRecommendStrictPrivacy(t *testing.T) {
+	recs := Recommend(Scenario{Nodes: 3000, ACC: 0.2, Epsilon: 0.1})
+	found := map[string]bool{}
+	for _, r := range recs[:2] {
+		found[r.Algorithm] = true
+	}
+	if !found["DGG"] && !found["DP-dK"] {
+		t.Fatalf("strict privacy should surface degree-based mechanisms: %+v", recs)
+	}
+}
+
+func TestRecommendNoDuplicates(t *testing.T) {
+	recs := Recommend(Scenario{Nodes: 20000, ACC: 0.5, Epsilon: 8,
+		Queries: []QueryID{QDegreeDistribution, QCommunityDetection}})
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if seen[r.Algorithm] {
+			t.Fatalf("duplicate %s in %+v", r.Algorithm, recs)
+		}
+		seen[r.Algorithm] = true
+		if r.Reason == "" {
+			t.Fatal("empty reason")
+		}
+	}
+}
+
+func TestFormatRecommendations(t *testing.T) {
+	s := Scenario{Nodes: 1000, ACC: 0.5, Epsilon: 1, Queries: []QueryID{QModularity}}
+	out := FormatRecommendations(s, Recommend(s))
+	if !strings.Contains(out, "Mod") || !strings.Contains(out, "1. ") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestRecommendFromResults(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := RecommendFromResults(res, Scenario{Epsilon: 4.9, Queries: []QueryID{QNumEdges}})
+	if len(recs) != len(res.Config.Algorithms) {
+		t.Fatalf("recs = %+v", recs)
+	}
+	// ranking is by wins, descending
+	prev := 1 << 30
+	for _, r := range recs {
+		var wins int
+		if _, err := fmtSscan(r.Reason, &wins); err != nil {
+			t.Fatalf("reason %q not parseable", r.Reason)
+		}
+		if wins > prev {
+			t.Fatalf("not sorted: %+v", recs)
+		}
+		prev = wins
+		if !strings.Contains(r.Reason, "eps=5") {
+			t.Fatalf("nearest-eps selection failed: %q", r.Reason)
+		}
+	}
+}
+
+// fmtSscan extracts the leading integer of a reason string.
+func fmtSscan(s string, out *int) (int, error) {
+	n := 0
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		n = n*10 + int(s[i]-'0')
+		i++
+	}
+	if i == 0 {
+		return 0, strings.NewReader("").UnreadByte()
+	}
+	*out = n
+	return 1, nil
+}

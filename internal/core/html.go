@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"sort"
+)
+
+// WriteHTMLReport renders the full benchmark outcome as a standalone HTML
+// page — the offline analogue of the paper's public results platform
+// (https://pgb-result.github.io/): dataset statistics, the Table VII and
+// Table XII best-count matrices with winners highlighted, the Table IX
+// time matrix, and the Fig. 2 error series.
+func WriteHTMLReport(w io.Writer, r *Results) error {
+	data := buildHTMLData(r)
+	return reportTemplate.Execute(w, data)
+}
+
+type htmlCell struct {
+	Text string
+	Best bool
+}
+
+type htmlTable struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]htmlCell
+}
+
+type htmlData struct {
+	Title  string
+	Config string
+	Tables []htmlTable
+}
+
+func buildHTMLData(r *Results) htmlData {
+	d := htmlData{
+		Title: "PGB — Private Graph Benchmark results",
+		Config: fmt.Sprintf("%d algorithms × %d datasets × %d privacy budgets × %d repetitions, scale %g, seed %d",
+			len(r.Config.Algorithms), len(r.Config.Datasets), len(r.Config.Epsilons), r.Config.Reps, r.Config.Scale, r.Config.Seed),
+	}
+
+	// Table VI analogue
+	dsTable := htmlTable{
+		Title:  "Datasets (Table VI)",
+		Header: []string{"Graph", "|V|", "|E|", "ACC", "Type"},
+	}
+	for _, name := range r.Config.Datasets {
+		s, ok := r.DatasetSummaries[name]
+		if !ok {
+			continue
+		}
+		dsTable.Rows = append(dsTable.Rows, []htmlCell{
+			{Text: s.Name}, {Text: fmt.Sprint(s.Nodes)}, {Text: fmt.Sprint(s.Edges)},
+			{Text: fmt.Sprintf("%.4f", s.ACC)}, {Text: s.Type},
+		})
+	}
+	d.Tables = append(d.Tables, dsTable)
+
+	// Table VII
+	counts7 := r.BestCounts7()
+	eps := append([]float64(nil), r.Config.Epsilons...)
+	sort.Float64s(eps)
+	t7 := htmlTable{
+		Title:  "Overall best counts (Table VII)",
+		Note:   "Entries count wins over the 15 queries; ties credit every best performer. Shaded = column best within the ε block.",
+		Header: append([]string{"ε", "Algorithm"}, r.Config.Datasets...),
+	}
+	for _, e := range eps {
+		colMax := map[string]int{}
+		for _, ds := range r.Config.Datasets {
+			for _, alg := range r.Config.Algorithms {
+				if c := counts7[e][ds][alg]; c > colMax[ds] {
+					colMax[ds] = c
+				}
+			}
+		}
+		for i, alg := range r.Config.Algorithms {
+			row := make([]htmlCell, 0, len(r.Config.Datasets)+2)
+			label := ""
+			if i == 0 {
+				label = fmt.Sprintf("%g", e)
+			}
+			row = append(row, htmlCell{Text: label}, htmlCell{Text: alg})
+			for _, ds := range r.Config.Datasets {
+				c := counts7[e][ds][alg]
+				row = append(row, htmlCell{Text: fmt.Sprint(c), Best: c == colMax[ds] && c > 0})
+			}
+			t7.Rows = append(t7.Rows, row)
+		}
+	}
+	d.Tables = append(d.Tables, t7)
+
+	// Table XII
+	counts12 := r.BestCounts12()
+	t12 := htmlTable{
+		Title:  "Per-query best counts (Table XII)",
+		Header: []string{"Algorithm"},
+	}
+	for _, q := range AllQueries() {
+		t12.Header = append(t12.Header, q.String())
+	}
+	colMax := map[QueryID]int{}
+	for _, q := range AllQueries() {
+		for _, alg := range r.Config.Algorithms {
+			if c := counts12[q][alg]; c > colMax[q] {
+				colMax[q] = c
+			}
+		}
+	}
+	for _, alg := range r.Config.Algorithms {
+		row := []htmlCell{{Text: alg}}
+		for _, q := range AllQueries() {
+			c := counts12[q][alg]
+			row = append(row, htmlCell{Text: fmt.Sprint(c), Best: c == colMax[q] && c > 0})
+		}
+		t12.Rows = append(t12.Rows, row)
+	}
+	d.Tables = append(d.Tables, t12)
+
+	// Table IX
+	idx := r.index()
+	t9 := htmlTable{
+		Title:  "Generation time, seconds (Table IX)",
+		Header: append([]string{"Graph"}, r.Config.Algorithms...),
+	}
+	for _, ds := range r.Config.Datasets {
+		row := []htmlCell{{Text: ds}}
+		for _, alg := range r.Config.Algorithms {
+			sum, n := 0.0, 0
+			for _, e := range r.Config.Epsilons {
+				if c, ok := idx[cellKeyOf(alg, ds, e)]; ok && c.Err == nil {
+					sum += c.GenSeconds
+					n++
+				}
+			}
+			if n == 0 {
+				row = append(row, htmlCell{Text: "–"})
+			} else {
+				row = append(row, htmlCell{Text: fmt.Sprintf("%.3f", sum/float64(n))})
+			}
+		}
+		t9.Rows = append(t9.Rows, row)
+	}
+	d.Tables = append(d.Tables, t9)
+
+	// Fig. 2 series as tables
+	for _, q := range Fig2Queries() {
+		for _, ds := range Fig2Datasets() {
+			if !contains(r.Config.Datasets, ds) {
+				continue
+			}
+			ft := htmlTable{
+				Title:  fmt.Sprintf("Fig. 2 — %s (%s) on %s", q.String(), q.Metric(), ds),
+				Header: []string{"Algorithm"},
+			}
+			for _, e := range eps {
+				ft.Header = append(ft.Header, fmt.Sprintf("ε=%g", e))
+			}
+			for _, alg := range r.Config.Algorithms {
+				row := []htmlCell{{Text: alg}}
+				for _, e := range eps {
+					c, ok := idx[cellKeyOf(alg, ds, e)]
+					if !ok || c.Err != nil {
+						row = append(row, htmlCell{Text: "–"})
+						continue
+					}
+					row = append(row, htmlCell{Text: fmt.Sprintf("%.4f", c.Errors[q-1])})
+				}
+				ft.Rows = append(ft.Rows, row)
+			}
+			d.Tables = append(d.Tables, ft)
+		}
+	}
+	return d
+}
+
+var reportTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #1a1a1a; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+p.config { color: #555; }
+table { border-collapse: collapse; margin: 0.75rem 0; font-size: 0.85rem; }
+th, td { border: 1px solid #ccc; padding: 0.3rem 0.6rem; text-align: right; }
+th:first-child, td:first-child, td:nth-child(2) { text-align: left; }
+th { background: #f0f0f0; }
+td.best { background: #d7ecd9; font-weight: 600; }
+p.note { color: #666; font-size: 0.8rem; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p class="config">{{.Config}}</p>
+{{range .Tables}}
+<h2>{{.Title}}</h2>
+{{if .Note}}<p class="note">{{.Note}}</p>{{end}}
+<table>
+<tr>{{range .Header}}<th>{{.}}</th>{{end}}</tr>
+{{range .Rows}}<tr>{{range .}}<td{{if .Best}} class="best"{{end}}>{{.Text}}</td>{{end}}</tr>
+{{end}}
+</table>
+{{end}}
+</body>
+</html>
+`))

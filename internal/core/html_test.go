@@ -1,0 +1,50 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteHTMLReport(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Datasets = []string{"ER", "Facebook"}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteHTMLReport(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Table VII", "Table XII", "Table IX",
+		"TmF", "DGG", "Facebook",
+		"class=\"best\"",
+		"Fig. 2 — Tri (RE) on Facebook",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "<nil>") {
+		t.Error("HTML report contains <nil>")
+	}
+}
+
+func TestHTMLReportEscaping(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteHTMLReport(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	// html/template escapes: no stray unclosed tags from data
+	if strings.Count(sb.String(), "<table>") != strings.Count(sb.String(), "</table>") {
+		t.Error("unbalanced tables")
+	}
+}

@@ -1,0 +1,221 @@
+// Package core is PGB's benchmark engine — the paper's primary
+// contribution. It wires the 4-tuple (M, G, P, U) together: the algorithm
+// registry (M), the dataset suite (G), the privacy-budget grid (P) and the
+// fifteen-query/eleven-metric utility evaluation (U), and implements the
+// best-count aggregations of Definitions 5 and 6 that produce Tables VII
+// and XII, the Fig. 2 error series, the time/space measurements of Tables
+// IX and X, and the verification appendix.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pgb/internal/community"
+	"pgb/internal/graph"
+	"pgb/internal/metrics"
+	"pgb/internal/stats"
+)
+
+// QueryID identifies one of the fifteen PGB graph queries (Table III).
+type QueryID int
+
+// The fifteen queries in paper order.
+const (
+	QNumNodes QueryID = iota + 1
+	QNumEdges
+	QTriangles
+	QAvgDegree
+	QDegreeVariance
+	QDegreeDistribution
+	QDiameter
+	QAvgPath
+	QDistanceDistribution
+	QGlobalClustering
+	QAvgClustering
+	QCommunityDetection
+	QModularity
+	QAssortativity
+	QEigenvectorCentrality
+
+	NumQueries = 15
+)
+
+// String returns the paper's symbol for the query.
+func (q QueryID) String() string {
+	switch q {
+	case QNumNodes:
+		return "|V|"
+	case QNumEdges:
+		return "|E|"
+	case QTriangles:
+		return "Tri"
+	case QAvgDegree:
+		return "d_avg"
+	case QDegreeVariance:
+		return "d_var"
+	case QDegreeDistribution:
+		return "DegDist"
+	case QDiameter:
+		return "Diam"
+	case QAvgPath:
+		return "AvgPath"
+	case QDistanceDistribution:
+		return "DistDist"
+	case QGlobalClustering:
+		return "GCC"
+	case QAvgClustering:
+		return "ACC"
+	case QCommunityDetection:
+		return "CD"
+	case QModularity:
+		return "Mod"
+	case QAssortativity:
+		return "Ass"
+	case QEigenvectorCentrality:
+		return "EVC"
+	}
+	return fmt.Sprintf("Q%d", int(q))
+}
+
+// Metric returns the error metric the harness applies to the query
+// (§V-D): RE for most, KL for the two distributions, NMI for community
+// detection, MAE for eigenvector centrality.
+func (q QueryID) Metric() string {
+	switch q {
+	case QDegreeDistribution, QDistanceDistribution:
+		return "KL"
+	case QCommunityDetection:
+		return "NMI"
+	case QEigenvectorCentrality:
+		return "MAE"
+	default:
+		return "RE"
+	}
+}
+
+// AllQueries returns the fifteen query IDs in order.
+func AllQueries() []QueryID {
+	qs := make([]QueryID, NumQueries)
+	for i := range qs {
+		qs[i] = QueryID(i + 1)
+	}
+	return qs
+}
+
+// Profile caches every query answer for one graph, so the fifteen-query
+// comparison against a synthetic graph costs one pass per graph.
+type Profile struct {
+	NumNodes        float64
+	NumEdges        float64
+	Triangles       float64
+	AvgDegree       float64
+	DegreeVariance  float64
+	DegreeDist      []float64
+	Diameter        float64
+	AvgPath         float64
+	DistanceDist    []float64
+	GCC             float64
+	ACC             float64
+	CommunityLabels []int
+	Modularity      float64
+	Assortativity   float64
+	EVC             []float64
+}
+
+// ProfileOptions tunes the expensive queries.
+type ProfileOptions struct {
+	// ExactPathLimit is the node count up to which all-pairs BFS is exact;
+	// larger graphs use sampled BFS. Default 2000.
+	ExactPathLimit int
+	// PathSamples is the BFS source sample size for large graphs.
+	// Default 64.
+	PathSamples int
+	// EVCIterations bounds power iteration. Default 60.
+	EVCIterations int
+	// ExactDiameter replaces the sampled diameter lower bound with the
+	// exact iFUB computation on the largest component — used by the
+	// verification appendix, where diameter is compared in absolute
+	// terms rather than relative across algorithms.
+	ExactDiameter bool
+}
+
+func (o ProfileOptions) withDefaults() ProfileOptions {
+	if o.ExactPathLimit <= 0 {
+		o.ExactPathLimit = 2000
+	}
+	if o.PathSamples <= 0 {
+		o.PathSamples = 64
+	}
+	if o.EVCIterations <= 0 {
+		o.EVCIterations = 60
+	}
+	return o
+}
+
+// ComputeProfile evaluates all fifteen queries on g.
+func ComputeProfile(g *graph.Graph, opt ProfileOptions, rng *rand.Rand) *Profile {
+	opt = opt.withDefaults()
+	p := &Profile{
+		NumNodes:       stats.NumNodes(g),
+		NumEdges:       stats.NumEdges(g),
+		Triangles:      stats.Triangles(g),
+		AvgDegree:      stats.AvgDegree(g),
+		DegreeVariance: stats.DegreeVariance(g),
+		DegreeDist:     stats.DegreeDistribution(g),
+		GCC:            stats.GlobalClustering(g),
+		ACC:            stats.AvgClustering(g),
+		Assortativity:  stats.Assortativity(g),
+		EVC:            stats.EigenvectorCentrality(g, opt.EVCIterations, 0),
+	}
+	ds := stats.Distances(g, opt.ExactPathLimit, opt.PathSamples, rng)
+	p.Diameter = ds.Diameter
+	p.AvgPath = ds.AvgPath
+	p.DistanceDist = ds.Distribution
+	if opt.ExactDiameter {
+		p.Diameter = float64(stats.ExactDiameter(g, rng))
+	}
+	cd := community.Louvain(g, rng)
+	p.CommunityLabels = cd.Labels
+	p.Modularity = cd.Modularity
+	return p
+}
+
+// Score returns the error of the synthetic profile against the true
+// profile for one query, along with whether higher is better (true only
+// for the NMI-scored community detection query).
+func Score(q QueryID, truth, syn *Profile) (value float64, higherBetter bool) {
+	switch q {
+	case QNumNodes:
+		return metrics.RelativeError(truth.NumNodes, syn.NumNodes), false
+	case QNumEdges:
+		return metrics.RelativeError(truth.NumEdges, syn.NumEdges), false
+	case QTriangles:
+		return metrics.RelativeError(truth.Triangles, syn.Triangles), false
+	case QAvgDegree:
+		return metrics.RelativeError(truth.AvgDegree, syn.AvgDegree), false
+	case QDegreeVariance:
+		return metrics.RelativeError(truth.DegreeVariance, syn.DegreeVariance), false
+	case QDegreeDistribution:
+		return metrics.KLDivergence(truth.DegreeDist, syn.DegreeDist), false
+	case QDiameter:
+		return metrics.RelativeError(truth.Diameter, syn.Diameter), false
+	case QAvgPath:
+		return metrics.RelativeError(truth.AvgPath, syn.AvgPath), false
+	case QDistanceDistribution:
+		return metrics.KLDivergence(truth.DistanceDist, syn.DistanceDist), false
+	case QGlobalClustering:
+		return metrics.RelativeError(truth.GCC, syn.GCC), false
+	case QAvgClustering:
+		return metrics.RelativeError(truth.ACC, syn.ACC), false
+	case QCommunityDetection:
+		return metrics.NMI(truth.CommunityLabels, syn.CommunityLabels), true
+	case QModularity:
+		return metrics.RelativeError(truth.Modularity, syn.Modularity), false
+	case QAssortativity:
+		return metrics.RelativeError(truth.Assortativity, syn.Assortativity), false
+	case QEigenvectorCentrality:
+		return metrics.MeanAbsoluteError(truth.EVC, syn.EVC), false
+	}
+	panic(fmt.Sprintf("core: unknown query %d", int(q)))
+}

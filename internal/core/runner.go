@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"pgb/internal/algo"
+	"pgb/internal/datasets"
+	"pgb/internal/graph"
+)
+
+// Config parameterises a benchmark run. The zero value is completed by
+// withDefaults to the paper's grid: six algorithms, eight datasets, six
+// privacy budgets, ten repetitions, full-size graphs.
+type Config struct {
+	Algorithms []string
+	Datasets   []string
+	Epsilons   []float64
+	Reps       int
+	// Scale in (0, 1] shrinks dataset node/edge targets for fast runs.
+	Scale float64
+	Seed  int64
+	// Parallelism bounds concurrent (algorithm, dataset, ε, rep) cells;
+	// 0 selects GOMAXPROCS.
+	Parallelism int
+	Profile     ProfileOptions
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress func(string)
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = AlgorithmNames()
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = datasets.Names()
+	}
+	if len(c.Epsilons) == 0 {
+		c.Epsilons = Epsilons()
+	}
+	if c.Reps <= 0 {
+		c.Reps = 10
+	}
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// CellResult is the outcome of one (algorithm, dataset, ε) cell,
+// averaged over repetitions: the per-query error values plus resource
+// measurements.
+type CellResult struct {
+	Algorithm string
+	Dataset   string
+	Epsilon   float64
+	// Errors[q-1] is the mean error for query q (NMI for Q12, where
+	// higher is better; all others lower is better).
+	Errors [NumQueries]float64
+	// StdDev[q-1] is the standard deviation of the error across
+	// repetitions (0 for single-repetition runs).
+	StdDev [NumQueries]float64
+	// GenSeconds is the mean wall-clock generation time.
+	GenSeconds float64
+	// GenBytes is the mean heap allocation during generation.
+	GenBytes float64
+	// Err records a generation failure (cell excluded from aggregation).
+	Err error
+}
+
+// Results is the full outcome of a benchmark run.
+type Results struct {
+	Config Config
+	Cells  []CellResult
+	// TrueProfiles and DatasetSummaries are keyed by dataset name.
+	DatasetSummaries map[string]datasets.Summary
+}
+
+// Run executes the benchmark grid. Dataset graphs and their true profiles
+// are computed once; cells run in parallel.
+func Run(cfg Config) (*Results, error) {
+	cfg = cfg.withDefaults()
+
+	type dsEntry struct {
+		spec    datasets.Spec
+		g       *graph.Graph
+		profile *Profile
+	}
+	dss := make(map[string]*dsEntry, len(cfg.Datasets))
+	summaries := make(map[string]datasets.Summary, len(cfg.Datasets))
+	for _, name := range cfg.Datasets {
+		spec, err := datasets.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		g := spec.Load(cfg.Scale, cfg.Seed)
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		prof := ComputeProfile(g, cfg.Profile, rng)
+		dss[name] = &dsEntry{spec: spec, g: g, profile: prof}
+		summaries[name] = datasets.Summarize(spec, g)
+		if cfg.Progress != nil {
+			s := summaries[name]
+			cfg.Progress(fmt.Sprintf("dataset %-10s n=%d m=%d acc=%.4f", s.Name, s.Nodes, s.Edges, s.ACC))
+		}
+	}
+
+	type cellKey struct {
+		alg string
+		ds  string
+		eps float64
+	}
+	var keys []cellKey
+	for _, a := range cfg.Algorithms {
+		for _, d := range cfg.Datasets {
+			for _, e := range cfg.Epsilons {
+				keys = append(keys, cellKey{a, d, e})
+			}
+		}
+	}
+
+	results := make([]CellResult, len(keys))
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k cellKey) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			entry := dss[k.ds]
+			res := runCell(cfg, k.alg, entry.spec.Name, entry.g, entry.profile, k.eps)
+			results[i] = res
+			if cfg.Progress != nil {
+				mu.Lock()
+				if res.Err != nil {
+					cfg.Progress(fmt.Sprintf("cell %-10s %-10s eps=%-4g FAILED: %v", k.alg, k.ds, k.eps, res.Err))
+				} else {
+					cfg.Progress(fmt.Sprintf("cell %-10s %-10s eps=%-4g done in %.2fs", k.alg, k.ds, k.eps, res.GenSeconds*float64(cfg.Reps)))
+				}
+				mu.Unlock()
+			}
+		}(i, k)
+	}
+	wg.Wait()
+	return &Results{Config: cfg, Cells: results, DatasetSummaries: summaries}, nil
+}
+
+// runCell generates Reps synthetic graphs and averages the query errors.
+func runCell(cfg Config, algName, dsName string, g *graph.Graph, truth *Profile, eps float64) CellResult {
+	res := CellResult{Algorithm: algName, Dataset: dsName, Epsilon: eps}
+	generator, err := NewAlgorithm(algName)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	seed := cfg.Seed ^ hashCell(algName, dsName, eps)
+	var sumErr, sumSq [NumQueries]float64
+	var sumSec, sumBytes float64
+	for rep := 0; rep < cfg.Reps; rep++ {
+		rng := rand.New(rand.NewSource(seed + int64(rep)*7919))
+		sec, bytes, syn, gerr := MeasureGenerate(generator, g, eps, rng)
+		if gerr != nil {
+			res.Err = gerr
+			return res
+		}
+		synProf := ComputeProfile(syn, cfg.Profile, rng)
+		for _, q := range AllQueries() {
+			v, _ := Score(q, truth, synProf)
+			sumErr[q-1] += v
+			sumSq[q-1] += v * v
+		}
+		sumSec += sec
+		sumBytes += bytes
+	}
+	inv := 1 / float64(cfg.Reps)
+	for i := range sumErr {
+		mean := sumErr[i] * inv
+		res.Errors[i] = mean
+		variance := sumSq[i]*inv - mean*mean
+		if variance > 0 {
+			res.StdDev[i] = math.Sqrt(variance)
+		}
+	}
+	res.GenSeconds = sumSec * inv
+	res.GenBytes = sumBytes * inv
+	return res
+}
+
+// MeasureGenerate runs one generation, returning wall-clock seconds and
+// heap bytes allocated during the call (the Table IX / Table X
+// measurements).
+func MeasureGenerate(g algo.Generator, in *graph.Graph, eps float64, rng *rand.Rand) (sec, bytes float64, out *graph.Graph, err error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	out, err = g.Generate(in, eps, rng)
+	sec = time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	bytes = float64(after.TotalAlloc - before.TotalAlloc)
+	return sec, bytes, out, err
+}
+
+func hashCell(alg, ds string, eps float64) int64 {
+	h := int64(1469598103934665603)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= int64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(alg)
+	mix(ds)
+	mix(fmt.Sprintf("%g", eps))
+	return h
+}

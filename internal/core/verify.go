@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"pgb/internal/community"
+	"pgb/internal/datasets"
+	"pgb/internal/graph"
+	"pgb/internal/metrics"
+	"pgb/internal/stats"
+)
+
+// VerifyDPdK reproduces Table XI of the paper's appendix: DP-dK on
+// (simulated) CA-GrQC at ε ∈ {20, 2, 0.2}, reporting ground truth and the
+// mean synthetic value for each verification query.
+func VerifyDPdK(scale float64, reps int, seed int64) (string, error) {
+	spec := datasets.CaGrQC()
+	g := spec.Load(scale, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	truth := verificationRow(g, rng)
+	alg, err := NewAlgorithm("DP-dK")
+	if err != nil {
+		return "", err
+	}
+	epsList := []float64{20, 2, 0.2}
+	rows := make([]map[string]float64, len(epsList))
+	for i, eps := range epsList {
+		acc := map[string]float64{}
+		for rep := 0; rep < reps; rep++ {
+			r2 := rand.New(rand.NewSource(seed + int64(i*1000+rep)))
+			syn, err := alg.Generate(g, eps, r2)
+			if err != nil {
+				return "", err
+			}
+			row := verificationRow(syn, r2)
+			for k, v := range row {
+				acc[k] += v
+			}
+		}
+		for k := range acc {
+			acc[k] /= float64(reps)
+		}
+		rows[i] = acc
+	}
+	var sb strings.Builder
+	sb.WriteString("Table XI — verification of DP-dK on (simulated) CA-GrQC\n")
+	fmt.Fprintf(&sb, "%-14s %12s", "Query", "Truth")
+	for _, e := range epsList {
+		fmt.Fprintf(&sb, " %12s", fmt.Sprintf("eps=%g", e))
+	}
+	sb.WriteByte('\n')
+	for _, q := range verificationQueries() {
+		fmt.Fprintf(&sb, "%-14s %12.3f", q, truth[q])
+		for i := range epsList {
+			fmt.Fprintf(&sb, " %12.3f", rows[i][q])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+func verificationQueries() []string {
+	return []string{"|V|", "|E|", "d_avg", "Ass", "ACC", "Diam", "Tri", "GCC", "Mod"}
+}
+
+func verificationRow(g *graph.Graph, rng *rand.Rand) map[string]float64 {
+	ds := stats.Distances(g, 2000, 64, rng)
+	ds.Diameter = float64(stats.ExactDiameter(g, rng)) // Table XI compares absolute diameters
+	cd := community.Louvain(g, rng)
+	return map[string]float64{
+		"|V|":   stats.NumNodes(g),
+		"|E|":   stats.NumEdges(g),
+		"d_avg": stats.AvgDegree(g),
+		"Ass":   stats.Assortativity(g),
+		"ACC":   stats.AvgClustering(g),
+		"Diam":  ds.Diameter,
+		"Tri":   stats.Triangles(g),
+		"GCC":   stats.GlobalClustering(g),
+		"Mod":   cd.Modularity,
+	}
+}
+
+// VerifyTmF reproduces Figs. 3 and 4: TmF on (simulated) Facebook across
+// the ε grid, reporting KL divergence of the degree distribution and NMI
+// of community detection.
+func VerifyTmF(scale float64, reps int, seed int64) (string, error) {
+	return verifySeries("TmF", datasets.Facebook(), scale, reps, seed,
+		"Fig. 3/4 — TmF verification on (simulated) Facebook",
+		[]QueryID{QDegreeDistribution, QCommunityDetection})
+}
+
+// VerifyPrivSKG reproduces Figs. 5 and 6: PrivSKG on (simulated) CA-GrQC,
+// reporting the degree-distribution and clustering-by-degree curves of
+// original vs generated graphs at ε = 0.2 (the paper's setting).
+func VerifyPrivSKG(scale float64, seed int64) (string, error) {
+	spec := datasets.CaGrQC()
+	g := spec.Load(scale, seed)
+	alg, err := NewAlgorithm("PrivSKG")
+	if err != nil {
+		return "", err
+	}
+	rng := rand.New(rand.NewSource(seed + 5))
+	syn, err := alg.Generate(g, 0.2, rng)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Fig. 5 — degree distribution (node counts per degree), original vs PrivSKG\n")
+	sb.WriteString(degreeHistogramTable(g, syn))
+	sb.WriteString("\nFig. 6 — average clustering coefficient by degree, original vs PrivSKG\n")
+	sb.WriteString(clusteringByDegreeTable(g, syn))
+	return sb.String(), nil
+}
+
+func degreeHistogramTable(a, b *graph.Graph) string {
+	ha := degreeCounts(a)
+	hb := degreeCounts(b)
+	// log-spaced degree buckets 1,2,4,8,...
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %12s %12s\n", "degree", "original", "generated")
+	for lo := 1; lo <= maxLen(ha, hb); lo *= 2 {
+		hi := lo * 2
+		ca, cb := bucketSum(ha, lo, hi), bucketSum(hb, lo, hi)
+		if ca == 0 && cb == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "[%4d,%4d) %12d %12d\n", lo, hi, ca, cb)
+	}
+	return sb.String()
+}
+
+func clusteringByDegreeTable(a, b *graph.Graph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %12s %12s\n", "degree", "original", "generated")
+	ca := clusteringByDegree(a)
+	cb := clusteringByDegree(b)
+	keys := map[int]struct{}{}
+	for d := range ca {
+		keys[d] = struct{}{}
+	}
+	for d := range cb {
+		keys[d] = struct{}{}
+	}
+	var ds []int
+	for d := range keys {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	for lo := 2; lo <= 4096; lo *= 2 {
+		hi := lo * 2
+		va, na := 0.0, 0
+		vb, nb := 0.0, 0
+		for _, d := range ds {
+			if d >= lo && d < hi {
+				if v, ok := ca[d]; ok {
+					va += v
+					na++
+				}
+				if v, ok := cb[d]; ok {
+					vb += v
+					nb++
+				}
+			}
+		}
+		if na == 0 && nb == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "[%4d,%4d) %12.4f %12.4f\n", lo, hi, safeDiv(va, na), safeDiv(vb, nb))
+	}
+	return sb.String()
+}
+
+func safeDiv(v float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return v / float64(n)
+}
+
+func clusteringByDegree(g *graph.Graph) map[int]float64 {
+	cc := stats.LocalClustering(g)
+	sum := map[int]float64{}
+	cnt := map[int]int{}
+	for u := 0; u < g.N(); u++ {
+		d := g.Degree(int32(u))
+		if d < 2 {
+			continue
+		}
+		sum[d] += cc[u]
+		cnt[d]++
+	}
+	out := make(map[int]float64, len(sum))
+	for d, s := range sum {
+		out[d] = s / float64(cnt[d])
+	}
+	return out
+}
+
+func degreeCounts(g *graph.Graph) []int {
+	h := make([]int, g.MaxDegree()+1)
+	for u := 0; u < g.N(); u++ {
+		h[g.Degree(int32(u))]++
+	}
+	return h
+}
+
+func bucketSum(h []int, lo, hi int) int {
+	s := 0
+	for d := lo; d < hi && d < len(h); d++ {
+		s += h[d]
+	}
+	return s
+}
+
+func maxLen(a, b []int) int {
+	if len(a) > len(b) {
+		return len(a)
+	}
+	return len(b)
+}
+
+// verifySeries runs one algorithm over the ε grid on one dataset and
+// prints the error series for the given queries.
+func verifySeries(algName string, spec datasets.Spec, scale float64, reps int, seed int64, title string, queries []QueryID) (string, error) {
+	g := spec.Load(scale, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	truth := ComputeProfile(g, ProfileOptions{}, rng)
+	alg, err := NewAlgorithm(algName)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	fmt.Fprintf(&sb, "%-18s", "eps:")
+	for _, e := range Epsilons() {
+		fmt.Fprintf(&sb, " %9g", e)
+	}
+	sb.WriteByte('\n')
+	for _, q := range queries {
+		fmt.Fprintf(&sb, "%-18s", fmt.Sprintf("%s (%s)", q.String(), q.Metric()))
+		for _, e := range Epsilons() {
+			sum := 0.0
+			for rep := 0; rep < reps; rep++ {
+				r2 := rand.New(rand.NewSource(seed + int64(rep)*31 + int64(e*100)))
+				syn, err := alg.Generate(g, e, r2)
+				if err != nil {
+					return "", err
+				}
+				prof := ComputeProfile(syn, ProfileOptions{}, r2)
+				v, _ := Score(q, truth, prof)
+				sum += v
+			}
+			fmt.Fprintf(&sb, " %9.4f", sum/float64(reps))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// Fig7 reproduces the appendix DER comparison: TmF vs PrivGraph vs DER on
+// (simulated) Facebook and Wiki-Vote, reporting RE of the clustering
+// coefficient and of the diameter across the ε grid.
+func Fig7(scale float64, reps int, seed int64) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("Fig. 7 — DER vs TmF vs PrivGraph\n")
+	algs := []string{"TmF", "PrivGraph", "DER"}
+	for _, spec := range []datasets.Spec{datasets.Facebook(), datasets.WikiVote()} {
+		g := spec.Load(scale, seed)
+		rng := rand.New(rand.NewSource(seed + 1))
+		truth := ComputeProfile(g, ProfileOptions{}, rng)
+		for _, q := range []QueryID{QAvgClustering, QDiameter} {
+			fmt.Fprintf(&sb, "\n[%s (RE) on %s]\n%-10s", q.String(), spec.Name, "eps:")
+			for _, e := range Epsilons() {
+				fmt.Fprintf(&sb, " %9g", e)
+			}
+			sb.WriteByte('\n')
+			for _, algName := range algs {
+				alg, err := NewAlgorithm(algName)
+				if err != nil {
+					return "", err
+				}
+				fmt.Fprintf(&sb, "%-10s", algName)
+				for _, e := range Epsilons() {
+					sum := 0.0
+					ok := 0
+					for rep := 0; rep < reps; rep++ {
+						r2 := rand.New(rand.NewSource(seed + int64(rep)*37 + int64(e*100)))
+						syn, err := alg.Generate(g, e, r2)
+						if err != nil {
+							continue
+						}
+						prof := ComputeProfile(syn, ProfileOptions{}, r2)
+						v, _ := Score(q, truth, prof)
+						sum += v
+						ok++
+					}
+					if ok == 0 {
+						fmt.Fprintf(&sb, " %9s", "-")
+					} else {
+						fmt.Fprintf(&sb, " %9.4f", sum/float64(ok))
+					}
+				}
+				sb.WriteByte('\n')
+			}
+		}
+	}
+	return sb.String(), nil
+}
+
+// VerifyMetricsIdentity is a convenience check used by examples: it
+// verifies the metric identities on a profile compared against itself.
+func VerifyMetricsIdentity(p *Profile) bool {
+	return metrics.NMI(p.CommunityLabels, p.CommunityLabels) == 1 &&
+		metrics.RelativeError(p.NumEdges, p.NumEdges) == 0
+}

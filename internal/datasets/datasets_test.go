@@ -1,0 +1,124 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllHasEightInPaperOrder(t *testing.T) {
+	want := []string{"Minnesota", "Facebook", "Wiki", "HepPh", "Poli", "Gnutella", "ER", "BA"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("datasets = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dataset[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("Facebook")
+	if err != nil || s.Name != "Facebook" {
+		t.Fatalf("ByName: %v %v", s, err)
+	}
+	if _, err := ByName("GrQC"); err != nil {
+		t.Fatal("GrQC (verification dataset) should be addressable")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestLoadScalesSizes(t *testing.T) {
+	s := ERGraph()
+	g := s.Load(0.1, 1)
+	if math.Abs(float64(g.N())-0.1*float64(s.PaperNodes)) > 2 {
+		t.Fatalf("scaled n = %d", g.N())
+	}
+	if math.Abs(float64(g.M())-0.1*float64(s.PaperEdges)) > 0.02*float64(s.PaperEdges) {
+		t.Fatalf("scaled m = %d", g.M())
+	}
+}
+
+func TestLoadClampsBadScale(t *testing.T) {
+	s := BAGraph()
+	g := s.Load(-1, 1) // invalid → full size
+	if g.N() != s.PaperNodes {
+		t.Fatalf("bad scale: n = %d, want %d", g.N(), s.PaperNodes)
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	for _, s := range All() {
+		a := s.Load(0.05, 9)
+		b := s.Load(0.05, 9)
+		if a.N() != b.N() || a.M() != b.M() {
+			t.Fatalf("%s: non-deterministic load", s.Name)
+		}
+	}
+}
+
+func TestAllValidAndSized(t *testing.T) {
+	for _, s := range All() {
+		g := s.Load(0.1, 3)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		// edge count within 25% of the scaled target
+		target := 0.1 * float64(s.PaperEdges)
+		if math.Abs(float64(g.M())-target) > 0.25*target {
+			t.Fatalf("%s: m = %d, target %g", s.Name, g.M(), target)
+		}
+	}
+}
+
+// The benchmark's findings hinge on the ACC ordering of the stand-ins:
+// social/academic high, financial mid, traffic/technology/synthetic low.
+func TestACCOrderingPreserved(t *testing.T) {
+	accOf := func(s Spec) float64 {
+		g := s.Load(0.25, 7)
+		return Summarize(s, g).ACC
+	}
+	fb, hep := accOf(Facebook()), accOf(CaHepPh())
+	poli := accOf(PoliLarge())
+	minn, gnut := accOf(Minnesota()), accOf(Gnutella())
+	if fb < 0.35 || hep < 0.35 {
+		t.Fatalf("social/academic ACC too low: fb=%g hep=%g", fb, hep)
+	}
+	if poli < 0.2 || poli > 0.55 {
+		t.Fatalf("poli ACC = %g, want mid-range", poli)
+	}
+	if minn > 0.08 || gnut > 0.08 {
+		t.Fatalf("traffic/tech ACC too high: minn=%g gnut=%g", minn, gnut)
+	}
+	if fb <= poli || poli <= minn {
+		t.Fatalf("ACC ordering violated: fb=%g poli=%g minn=%g", fb, poli, minn)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := ERGraph()
+	g := s.Load(0.05, 1)
+	sum := Summarize(s, g)
+	if sum.Nodes != g.N() || sum.Edges != g.M() || sum.Type != "Synthetic" {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+func TestSortedTypesCoversSevenDomains(t *testing.T) {
+	types := SortedTypes()
+	if len(types) != 7 {
+		t.Fatalf("types = %v, want 7 domains", types)
+	}
+}
+
+func TestGrQCStatsNearPaper(t *testing.T) {
+	s := CaGrQC()
+	g := s.Load(0.25, 5)
+	sum := Summarize(s, g)
+	if sum.ACC < 0.3 {
+		t.Fatalf("GrQC ACC = %g, want high (paper 0.53)", sum.ACC)
+	}
+}

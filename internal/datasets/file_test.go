@@ -1,0 +1,83 @@
+package datasets
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseEdgeFileSNAPFormat(t *testing.T) {
+	in := `# Directed graph: example
+# Nodes: 4 Edges: 5
+10	20
+20	10
+30	10
+% another comment style
+40,30
+20	30
+`
+	g, err := ParseEdgeFile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IDs {10,20,30,40} compact to {0,1,2,3}; directed dup 10-20/20-10
+	// collapses; edges: 0-1, 0-2, 2-3, 1-2
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("n=%d m=%d, want 4, 4", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || !g.HasEdge(2, 3) || !g.HasEdge(1, 2) {
+		t.Fatal("edges misparsed")
+	}
+}
+
+func TestParseEdgeFileErrors(t *testing.T) {
+	if _, err := ParseEdgeFile(strings.NewReader("1\n")); err == nil {
+		t.Fatal("single endpoint accepted")
+	}
+	if _, err := ParseEdgeFile(strings.NewReader("a b\n")); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+}
+
+func TestParseEdgeFileEmpty(t *testing.T) {
+	g, err := ParseEdgeFile(strings.NewReader("# only comments\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 {
+		t.Fatalf("n=%d", g.N())
+	}
+}
+
+func TestLoadFileAndFileSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "toy.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 3 {
+		t.Fatalf("m=%d", g.M())
+	}
+	spec, err := FileSpec("toy", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := spec.Load(0.5, 1) // scale ignored for files
+	if loaded.N() != 3 || loaded.M() != 3 {
+		t.Fatalf("spec load n=%d m=%d", loaded.N(), loaded.M())
+	}
+	if spec.PaperACC < 0.99 { // triangle: ACC 1
+		t.Fatalf("ACC=%g", spec.PaperACC)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/file.txt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

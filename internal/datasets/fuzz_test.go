@@ -1,0 +1,28 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseEdgeFile: the SNAP parser must never panic and every graph it
+// accepts must satisfy the structural invariants.
+func FuzzParseEdgeFile(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n10\t20\n")
+	f.Add("%\n1,2\n2,1\n")
+	f.Add("")
+	f.Add("a b\n")
+	f.Add("1 1\n")
+	f.Add("-5 3\n")
+	f.Add("999999999999999999999 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseEdgeFile(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails invariants: %v", err)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+// Package dp implements the differential-privacy primitives PGB's
+// generation algorithms are built from: the Laplace, geometric and
+// exponential mechanisms, randomized response, smooth-sensitivity
+// calibration (Nissim, Raskhodnikova & Smith 2007), and a privacy-budget
+// accountant enforcing sequential composition.
+//
+// All randomness flows through an explicit *rand.Rand so experiments are
+// reproducible from a seed.
+package dp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Laplace draws one sample from the Laplace distribution with mean 0 and
+// scale b > 0 using inverse-CDF sampling.
+func Laplace(rng *rand.Rand, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	// u uniform on (-1/2, 1/2); avoid u == ±1/2 exactly.
+	u := rng.Float64() - 0.5
+	for u == -0.5 {
+		u = rng.Float64() - 0.5
+	}
+	if u < 0 {
+		return b * math.Log(1+2*u)
+	}
+	return -b * math.Log(1-2*u)
+}
+
+// LaplaceMechanism perturbs value with Laplace noise calibrated to
+// sensitivity/epsilon, satisfying ε-DP for a query with the given global
+// L1 sensitivity.
+func LaplaceMechanism(rng *rand.Rand, value, sensitivity, epsilon float64) float64 {
+	if epsilon <= 0 {
+		panic("dp: non-positive epsilon")
+	}
+	return value + Laplace(rng, sensitivity/epsilon)
+}
+
+// LaplaceVector perturbs each entry of values with i.i.d. Laplace noise of
+// scale sensitivity/epsilon, where sensitivity is the L1 sensitivity of the
+// whole vector. The input is not modified.
+func LaplaceVector(rng *rand.Rand, values []float64, sensitivity, epsilon float64) []float64 {
+	if epsilon <= 0 {
+		panic("dp: non-positive epsilon")
+	}
+	b := sensitivity / epsilon
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = v + Laplace(rng, b)
+	}
+	return out
+}
+
+// Geometric draws from the two-sided (discrete) geometric distribution with
+// parameter alpha = exp(-epsilon/sensitivity), the discrete analogue of the
+// Laplace mechanism. Used where integer outputs are required.
+func Geometric(rng *rand.Rand, sensitivity, epsilon float64) int64 {
+	if epsilon <= 0 {
+		panic("dp: non-positive epsilon")
+	}
+	alpha := math.Exp(-epsilon / sensitivity)
+	// Sample magnitude from one-sided geometric, then a sign; mass at zero
+	// is (1-alpha)/(1+alpha).
+	u := rng.Float64()
+	p0 := (1 - alpha) / (1 + alpha)
+	if u < p0 {
+		return 0
+	}
+	// Remaining mass splits evenly over +k and -k, k >= 1, with
+	// P(|X| = k) = p0 * alpha^k.
+	u = rng.Float64()
+	k := int64(1 + math.Floor(math.Log(u)/math.Log(alpha)))
+	if k < 1 {
+		k = 1
+	}
+	if rng.Intn(2) == 0 {
+		return k
+	}
+	return -k
+}
+
+// Exponential implements the exponential mechanism over a finite candidate
+// set: it returns the index of the chosen candidate, where candidate i is
+// selected with probability proportional to exp(epsilon*score[i]/(2*sens)).
+// Scores are shifted by their maximum before exponentiation for numerical
+// stability.
+func Exponential(rng *rand.Rand, scores []float64, sensitivity, epsilon float64) int {
+	if len(scores) == 0 {
+		panic("dp: exponential mechanism with no candidates")
+	}
+	if epsilon <= 0 {
+		panic("dp: non-positive epsilon")
+	}
+	if sensitivity <= 0 {
+		panic("dp: non-positive sensitivity")
+	}
+	maxS := math.Inf(-1)
+	for _, s := range scores {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	weights := make([]float64, len(scores))
+	total := 0.0
+	for i, s := range scores {
+		w := math.Exp(epsilon * (s - maxS) / (2 * sensitivity))
+		weights[i] = w
+		total += w
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(scores) - 1
+}
+
+// RandomizedResponse flips a boolean with the standard Warner mechanism:
+// the true value is kept with probability e^ε/(e^ε+1). Satisfies ε-DP for
+// a single bit.
+func RandomizedResponse(rng *rand.Rand, bit bool, epsilon float64) bool {
+	if epsilon <= 0 {
+		panic("dp: non-positive epsilon")
+	}
+	pKeep := math.Exp(epsilon) / (math.Exp(epsilon) + 1)
+	if rng.Float64() < pKeep {
+		return bit
+	}
+	return !bit
+}
+
+// FlipProbability returns the probability that RandomizedResponse flips
+// its input at the given epsilon: 1/(e^ε+1).
+func FlipProbability(epsilon float64) float64 {
+	return 1 / (math.Exp(epsilon) + 1)
+}
+
+// SmoothSensitivity computes the β-smooth upper bound on local sensitivity
+// given localSensAt(d), the maximum local sensitivity over all databases at
+// Hamming distance d from the input, evaluated for d = 0..maxDist:
+//
+//	S = max_d localSensAt(d) * exp(-β d)
+//
+// Callers supply the query-specific localSensAt; the loop terminates early
+// once the exponential damping makes further terms irrelevant.
+func SmoothSensitivity(beta float64, maxDist int, localSensAt func(d int) float64) float64 {
+	if beta <= 0 {
+		panic("dp: non-positive beta")
+	}
+	s := 0.0
+	for d := 0; d <= maxDist; d++ {
+		ls := localSensAt(d)
+		v := ls * math.Exp(-beta*float64(d))
+		if v > s {
+			s = v
+		}
+		// Once even a generous upper bound on future local sensitivity
+		// cannot beat the current max, stop.
+		if ls > 0 && v < s*1e-12 {
+			break
+		}
+	}
+	return s
+}
+
+// SmoothLaplace perturbs value using noise calibrated to a β-smooth
+// sensitivity bound, providing (ε, δ)-DP per Nissim et al. (2007): with
+// β = ε / (2 ln(2/δ)), adding Laplace noise of scale 2S/ε suffices.
+func SmoothLaplace(rng *rand.Rand, value, smoothSens, epsilon float64) float64 {
+	if epsilon <= 0 {
+		panic("dp: non-positive epsilon")
+	}
+	return value + Laplace(rng, 2*smoothSens/epsilon)
+}
+
+// Beta returns the smooth-sensitivity damping parameter β = ε/(2 ln(2/δ)).
+func Beta(epsilon, delta float64) float64 {
+	if delta <= 0 || delta >= 1 {
+		panic("dp: delta must be in (0,1)")
+	}
+	return epsilon / (2 * math.Log(2/delta))
+}
+
+// Accountant tracks privacy-budget consumption under sequential
+// composition. Spend returns an error if the request would exceed the
+// total budget; algorithms use it to prove (in tests) that their stage-wise
+// splits sum to ε.
+type Accountant struct {
+	total float64
+	spent float64
+}
+
+// NewAccountant returns an accountant with the given total ε budget.
+func NewAccountant(epsilon float64) *Accountant {
+	return &Accountant{total: epsilon}
+}
+
+// Spend consumes eps from the budget.
+func (a *Accountant) Spend(eps float64) error {
+	if eps <= 0 {
+		return fmt.Errorf("dp: non-positive spend %g", eps)
+	}
+	// Tolerate float rounding at the boundary.
+	if a.spent+eps > a.total*(1+1e-9) {
+		return fmt.Errorf("dp: budget exceeded: spent %g + %g > total %g", a.spent, eps, a.total)
+	}
+	a.spent += eps
+	return nil
+}
+
+// Spent returns the consumed budget.
+func (a *Accountant) Spent() float64 { return a.spent }
+
+// Remaining returns the unconsumed budget.
+func (a *Accountant) Remaining() float64 {
+	r := a.total - a.spent
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Total returns the total budget.
+func (a *Accountant) Total() float64 { return a.total }

@@ -1,0 +1,92 @@
+package dp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussianMoments(t *testing.T) {
+	r := rng()
+	const sigma = 3.0
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := Gaussian(r, sigma)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean = %g", mean)
+	}
+	if math.Abs(variance-9) > 0.3 {
+		t.Fatalf("variance = %g, want ~9", variance)
+	}
+}
+
+func TestGaussianZeroSigma(t *testing.T) {
+	if Gaussian(rng(), 0) != 0 || Gaussian(rng(), -1) != 0 {
+		t.Fatal("non-positive sigma should give 0")
+	}
+}
+
+func TestGaussianSigmaFormula(t *testing.T) {
+	got := GaussianSigma(1, 1, 1e-5)
+	want := math.Sqrt(2 * math.Log(1.25e5))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sigma = %g, want %g", got, want)
+	}
+	// scales with L2 sensitivity
+	if GaussianSigma(2, 1, 1e-5) != 2*got {
+		t.Fatal("sensitivity scaling broken")
+	}
+	// smaller eps → more noise
+	if GaussianSigma(1, 0.5, 1e-5) <= got {
+		t.Fatal("epsilon scaling broken")
+	}
+	// eps > 1 clamps
+	if GaussianSigma(1, 5, 1e-5) != got {
+		t.Fatal("eps clamp broken")
+	}
+}
+
+func TestGaussianSigmaPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { GaussianSigma(1, 0, 0.1) },
+		func() { GaussianSigma(1, 1, 0) },
+		func() { GaussianSigma(1, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGaussianMechanismCenters(t *testing.T) {
+	r := rng()
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += GaussianMechanism(r, 7, 1, 1, 0.01)
+	}
+	if got := sum / n; math.Abs(got-7) > 0.1 {
+		t.Fatalf("mean = %g, want ~7", got)
+	}
+}
+
+func TestGaussianVector(t *testing.T) {
+	r := rng()
+	in := []float64{1, 2, 3}
+	out := GaussianVector(r, in, 0.0001, 1, 0.01) // near-zero noise
+	for i := range in {
+		if math.Abs(out[i]-in[i]) > 0.01 {
+			t.Fatalf("out[%d] = %g", i, out[i])
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package gen
+
+import (
+	"math/rand"
+
+	"pgb/internal/graph"
+)
+
+// PlantedPartition generates a graph with `blocks` equal-sized communities:
+// pIn within-community edge probability, pOut across. Used both by dataset
+// simulation (social graphs) and by tests that need a known community
+// structure.
+func PlantedPartition(n, blocks int, pIn, pOut float64, rng *rand.Rand) *graph.Graph {
+	if blocks < 1 {
+		blocks = 1
+	}
+	label := make([]int, n)
+	for u := 0; u < n; u++ {
+		label[u] = u * blocks / n
+	}
+	b := graph.NewBuilder(n)
+	// within-block: ER per block
+	size := (n + blocks - 1) / blocks
+	for blk := 0; blk < blocks; blk++ {
+		lo := blk * n / blocks
+		hi := (blk + 1) * n / blocks
+		sub := GNP(hi-lo, pIn, rng)
+		for _, e := range sub.Edges() {
+			_ = b.AddEdge(e.U+int32(lo), e.V+int32(lo))
+		}
+	}
+	_ = size
+	// across-block: sparse ER over all pairs, keep only cross pairs
+	if pOut > 0 {
+		expected := int(pOut * float64(n) * float64(n) / 2)
+		for i := 0; i < expected; i++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u != v && label[u] != label[v] {
+				_ = b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CliqueCover generates an overlapping-clique graph in the style of
+// co-authorship networks: numCliques cliques with sizes drawn uniformly
+// from [minSize, maxSize], membership drawn with preferential reuse
+// (probability reuse, clamped into [0, 0.9]) so prolific nodes appear in
+// many cliques. Produces very high clustering; higher reuse trades
+// clustering for hub overlap.
+func CliqueCover(n, numCliques, minSize, maxSize int, reuse float64, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n)
+	if maxSize < minSize {
+		maxSize = minSize
+	}
+	if reuse < 0 {
+		reuse = 0
+	}
+	if reuse > 0.9 {
+		reuse = 0.9
+	}
+	// preferential member pool
+	pool := make([]int32, 0, 4*numCliques)
+	for i := 0; i < numCliques; i++ {
+		size := minSize + rng.Intn(maxSize-minSize+1)
+		members := make(map[int32]struct{}, size)
+		for len(members) < size {
+			var u int32
+			if len(pool) > 0 && rng.Float64() < reuse {
+				u = pool[rng.Intn(len(pool))]
+			} else {
+				u = int32(rng.Intn(n))
+			}
+			members[u] = struct{}{}
+		}
+		list := make([]int32, 0, size)
+		for u := range members {
+			list = append(list, u)
+			pool = append(pool, u)
+		}
+		for a := 0; a < len(list); a++ {
+			for c := a + 1; c < len(list); c++ {
+				_ = b.AddEdge(list[a], list[c])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TriadicClosure adds up to extra edges by closing open wedges: pick a
+// random node, join two of its neighbors. Raises the clustering
+// coefficient of an existing graph in place (returns a new graph).
+func TriadicClosure(g *graph.Graph, extra int, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		_ = b.AddEdge(e.U, e.V)
+	}
+	n := g.N()
+	added, tries := 0, 0
+	for added < extra && tries < extra*20+100 {
+		tries++
+		u := int32(rng.Intn(n))
+		nb := g.Neighbors(u)
+		if len(nb) < 2 {
+			continue
+		}
+		a := nb[rng.Intn(len(nb))]
+		c := nb[rng.Intn(len(nb))]
+		if a == c || b.HasEdge(a, c) {
+			continue
+		}
+		_ = b.AddEdge(a, c)
+		added++
+	}
+	return b.Build()
+}

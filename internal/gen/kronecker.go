@@ -1,0 +1,182 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"pgb/internal/graph"
+)
+
+// Initiator is a symmetric 2×2 stochastic-Kronecker initiator matrix
+// [[A, B], [B, C]] with entries in [0, 1]. The k-fold Kronecker power
+// defines edge probabilities over 2^k nodes.
+type Initiator struct {
+	A, B, C float64
+}
+
+// Clamp restricts all entries to [lo, hi].
+func (t *Initiator) Clamp(lo, hi float64) {
+	c := func(x float64) float64 {
+		if x < lo {
+			return lo
+		}
+		if x > hi {
+			return hi
+		}
+		return x
+	}
+	t.A, t.B, t.C = c(t.A), c(t.B), c(t.C)
+}
+
+// Sum returns A + 2B + C, the expected-edge base: E[m] = Sum^k / 2 for the
+// undirected graph over 2^k nodes (self-pairs excluded approximately).
+func (t Initiator) Sum() float64 { return t.A + 2*t.B + t.C }
+
+// KroneckerLevels returns the smallest k with 2^k >= n.
+func KroneckerLevels(n int) int {
+	k := 0
+	for (1 << k) < n {
+		k++
+	}
+	return k
+}
+
+// SampleKronecker draws a stochastic Kronecker graph over 2^k nodes using
+// ball-dropping: targetEdges edge proposals descend the Kronecker
+// hierarchy, each level choosing a quadrant proportional to the initiator
+// entries. Duplicate proposals and self-loops are dropped, matching the
+// standard SKG sampler. If n < 2^k, endpoints outside [0, n) are rejected.
+func SampleKronecker(t Initiator, k, n, targetEdges int, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n)
+	sum := t.Sum()
+	if sum <= 0 || k <= 0 {
+		return b.Build()
+	}
+	pa := t.A / sum
+	pb := pa + t.B/sum
+	pc := pb + t.B/sum
+	attempts := 0
+	maxAttempts := targetEdges*20 + 1000
+	added := 0
+	for added < targetEdges && attempts < maxAttempts {
+		attempts++
+		var u, v int64
+		for level := 0; level < k; level++ {
+			r := rng.Float64()
+			u <<= 1
+			v <<= 1
+			switch {
+			case r < pa:
+				// quadrant (0,0)
+			case r < pb:
+				v |= 1
+			case r < pc:
+				u |= 1
+			default:
+				u |= 1
+				v |= 1
+			}
+		}
+		if u == v || u >= int64(n) || v >= int64(n) {
+			continue
+		}
+		if b.HasEdge(int32(u), int32(v)) {
+			continue
+		}
+		_ = b.AddEdge(int32(u), int32(v))
+		added++
+	}
+	return b.Build()
+}
+
+// FitInitiatorMoments fits a symmetric 2×2 initiator to three (noisy)
+// graph moments — edge count, wedge (2-star) count and triangle count —
+// by coordinate descent on the relative moment mismatch. This is the
+// moment-based estimator PrivSKG uses after privatising the moments.
+func FitInitiatorMoments(n int, edges, wedges, triangles float64, rng *rand.Rand) (Initiator, int) {
+	k := KroneckerLevels(n)
+	if edges < 1 {
+		edges = 1
+	}
+	if wedges < 0 {
+		wedges = 0
+	}
+	if triangles < 0 {
+		triangles = 0
+	}
+	loss := func(t Initiator) float64 {
+		em, wm, tm := kroneckerMoments(t, k)
+		le := relErr(edges, em)
+		lw := relErr(wedges, wm)
+		lt := relErr(triangles, tm)
+		return le + 0.5*lw + 0.5*lt
+	}
+	best := Initiator{A: 0.9, B: 0.5, C: 0.2}
+	// initialise B from the edge count: (A+2B+C)^k = 2m
+	target := math.Pow(2*edges, 1/float64(k))
+	if target > 0 {
+		scale := target / best.Sum()
+		best.A *= scale
+		best.B *= scale
+		best.C *= scale
+		best.Clamp(1e-4, 1)
+	}
+	bestLoss := loss(best)
+	step := 0.25
+	for iter := 0; iter < 200; iter++ {
+		improved := false
+		for dim := 0; dim < 3; dim++ {
+			for _, dir := range []float64{+1, -1} {
+				cand := best
+				switch dim {
+				case 0:
+					cand.A += dir * step
+				case 1:
+					cand.B += dir * step
+				case 2:
+					cand.C += dir * step
+				}
+				cand.Clamp(1e-4, 1)
+				if l := loss(cand); l < bestLoss {
+					best, bestLoss = cand, l
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+			if step < 1e-4 {
+				break
+			}
+		}
+	}
+	return best, k
+}
+
+func relErr(truth, est float64) float64 {
+	den := math.Abs(truth)
+	if den < 1 {
+		den = 1
+	}
+	return math.Abs(truth-est) / den
+}
+
+// kroneckerMoments returns closed-form expected edges, wedges and
+// triangles of the k-th Kronecker power of the initiator (Mahdian &
+// Xu 2007 style moment formulas, self-loop corrections omitted — adequate
+// for moment matching).
+func kroneckerMoments(t Initiator, k int) (edges, wedges, triangles float64) {
+	kk := float64(k)
+	s := t.Sum()
+	edges = math.Pow(s, kk) / 2
+	// wedges: Σ_u d_u² ≈ ((A+B)² + (B+C)²)^k; wedges = (that - s^k)/2
+	sq := math.Pow((t.A+t.B)*(t.A+t.B)+(t.B+t.C)*(t.B+t.C), kk)
+	wedges = (sq - s) / 2
+	if wedges < 0 {
+		wedges = 0
+	}
+	// triangles: tr-based moment (A³ + 3AB² + 3B²C + C³)^k / 6
+	tri := math.Pow(t.A*t.A*t.A+3*t.A*t.B*t.B+3*t.B*t.B*t.C+t.C*t.C*t.C, kk) / 6
+	triangles = tri
+	return edges, wedges, triangles
+}

@@ -1,0 +1,336 @@
+// Package graph provides the core undirected simple-graph type used
+// throughout PGB: the input representation for every differentially private
+// generation algorithm, and the output representation of every synthetic
+// graph. Nodes are dense integer IDs in [0, N). The graph is simple:
+// no self-loops, no parallel edges.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph over nodes 0..n-1, stored as
+// sorted adjacency slices. Construction goes through Builder (which
+// deduplicates); a finished Graph is immutable by convention.
+type Graph struct {
+	n   int
+	m   int
+	adj [][]int32
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct {
+	U, V int32
+}
+
+// Canon returns the edge in canonical (U < V) orientation.
+func Canon(u, v int32) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// New returns an empty graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{n: n, adj: make([][]int32, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int32) int { return len(g.adj[u]) }
+
+// Neighbors returns the sorted neighbor slice of u. The caller must not
+// modify the returned slice.
+func (g *Graph) Neighbors(u int32) []int32 { return g.adj[u] }
+
+// HasEdge reports whether the undirected edge {u, v} exists.
+func (g *Graph) HasEdge(u, v int32) bool {
+	if u < 0 || v < 0 || int(u) >= g.n || int(v) >= g.n || u == v {
+		return false
+	}
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a, v = g.adj[v], u
+	}
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}
+
+// Edges returns all edges in canonical orientation, sorted.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if int32(u) < v {
+				out = append(out, Edge{U: int32(u), V: v})
+			}
+		}
+	}
+	return out
+}
+
+// Degrees returns the degree sequence indexed by node ID.
+func (g *Graph) Degrees() []int {
+	d := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		d[u] = len(g.adj[u])
+	}
+	return d
+}
+
+// MaxDegree returns the maximum degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		if len(g.adj[u]) > max {
+			max = len(g.adj[u])
+		}
+	}
+	return max
+}
+
+// Density returns 2m / (n(n-1)), the fraction of possible edges present.
+func (g *Graph) Density() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	return 2 * float64(g.m) / (float64(g.n) * float64(g.n-1))
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{n: g.n, m: g.m, adj: make([][]int32, g.n)}
+	for u := range g.adj {
+		c.adj[u] = append([]int32(nil), g.adj[u]...)
+	}
+	return c
+}
+
+// Validate checks structural invariants: sorted adjacency, symmetry,
+// no self-loops, no duplicates, and consistent edge count. It is used by
+// tests and by algorithm post-conditions.
+func (g *Graph) Validate() error {
+	half := 0
+	for u := 0; u < g.n; u++ {
+		prev := int32(-1)
+		for _, v := range g.adj[u] {
+			if v < 0 || int(v) >= g.n {
+				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", u, v)
+			}
+			if v == int32(u) {
+				return fmt.Errorf("graph: self-loop at node %d", u)
+			}
+			if v <= prev {
+				return fmt.Errorf("graph: adjacency of node %d unsorted or duplicated at %d", u, v)
+			}
+			if !g.HasEdge(v, int32(u)) {
+				return fmt.Errorf("graph: edge %d-%d not symmetric", u, v)
+			}
+			prev = v
+		}
+		half += len(g.adj[u])
+	}
+	if half != 2*g.m {
+		return fmt.Errorf("graph: edge count %d inconsistent with adjacency size %d", g.m, half)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph{n=%d, m=%d}", g.n, g.m)
+}
+
+// ErrNodeRange is returned by Builder.AddEdge for out-of-range endpoints.
+var ErrNodeRange = errors.New("graph: node index out of range")
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges and self-loops are silently dropped, so algorithm construction
+// stages can emit candidate edges freely.
+type Builder struct {
+	n   int
+	adj []map[int32]struct{}
+}
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int) *Builder {
+	b := &Builder{n: n, adj: make([]map[int32]struct{}, n)}
+	return b
+}
+
+// N returns the number of nodes the builder was created with.
+func (b *Builder) N() int { return b.n }
+
+// AddEdge inserts the undirected edge {u, v}, ignoring self-loops and
+// duplicates. Returns ErrNodeRange if an endpoint is out of range.
+func (b *Builder) AddEdge(u, v int32) error {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		return ErrNodeRange
+	}
+	if u == v {
+		return nil
+	}
+	if b.adj[u] == nil {
+		b.adj[u] = make(map[int32]struct{})
+	}
+	if b.adj[v] == nil {
+		b.adj[v] = make(map[int32]struct{})
+	}
+	b.adj[u][v] = struct{}{}
+	b.adj[v][u] = struct{}{}
+	return nil
+}
+
+// HasEdge reports whether {u, v} has been added.
+func (b *Builder) HasEdge(u, v int32) bool {
+	if u < 0 || int(u) >= b.n || b.adj[u] == nil {
+		return false
+	}
+	_, ok := b.adj[u][v]
+	return ok
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present.
+func (b *Builder) RemoveEdge(u, v int32) {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		return
+	}
+	if b.adj[u] != nil {
+		delete(b.adj[u], v)
+	}
+	if b.adj[v] != nil {
+		delete(b.adj[v], u)
+	}
+}
+
+// M returns the current number of distinct edges.
+func (b *Builder) M() int {
+	half := 0
+	for _, s := range b.adj {
+		half += len(s)
+	}
+	return half / 2
+}
+
+// Degree returns the current degree of node u.
+func (b *Builder) Degree(u int32) int {
+	if u < 0 || int(u) >= b.n {
+		return 0
+	}
+	return len(b.adj[u])
+}
+
+// Build finalizes the builder into an immutable Graph.
+func (b *Builder) Build() *Graph {
+	g := &Graph{n: b.n, adj: make([][]int32, b.n)}
+	half := 0
+	for u := 0; u < b.n; u++ {
+		if len(b.adj[u]) == 0 {
+			continue
+		}
+		nb := make([]int32, 0, len(b.adj[u]))
+		for v := range b.adj[u] {
+			nb = append(nb, v)
+		}
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		g.adj[u] = nb
+		half += len(nb)
+	}
+	g.m = half / 2
+	return g
+}
+
+// FromEdges constructs a graph with n nodes from an edge list, dropping
+// self-loops and duplicates.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		_ = b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// FromAdjacency constructs a graph from raw (possibly unsorted,
+// possibly asymmetric) adjacency lists; edges are symmetrized.
+func FromAdjacency(adj [][]int32) *Graph {
+	b := NewBuilder(len(adj))
+	for u, nb := range adj {
+		for _, v := range nb {
+			_ = b.AddEdge(int32(u), v)
+		}
+	}
+	return b.Build()
+}
+
+// Subgraph returns the induced subgraph on the given nodes, relabelled to
+// 0..len(nodes)-1 in the given order.
+func (g *Graph) Subgraph(nodes []int32) *Graph {
+	idx := make(map[int32]int32, len(nodes))
+	for i, u := range nodes {
+		idx[u] = int32(i)
+	}
+	b := NewBuilder(len(nodes))
+	for i, u := range nodes {
+		for _, v := range g.adj[u] {
+			if j, ok := idx[v]; ok {
+				_ = b.AddEdge(int32(i), j)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// LargestComponent returns the node set of the largest connected component.
+func (g *Graph) LargestComponent() []int32 {
+	comp := g.Components()
+	best := 0
+	for i := range comp {
+		if len(comp[i]) > len(comp[best]) {
+			best = i
+		}
+	}
+	if len(comp) == 0 {
+		return nil
+	}
+	return comp[best]
+}
+
+// Components returns the connected components as node-ID slices.
+func (g *Graph) Components() [][]int32 {
+	seen := make([]bool, g.n)
+	var comps [][]int32
+	queue := make([]int32, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		comp := []int32{int32(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+					comp = append(comp, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}

@@ -1,0 +1,240 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("New(5): got n=%d m=%d", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewNegative(t *testing.T) {
+	g := New(-3)
+	if g.N() != 0 {
+		t.Fatalf("New(-3) n = %d, want 0", g.N())
+	}
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 0); err != nil { // duplicate reversed
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 2); err != nil { // self loop dropped
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge 0-1 missing")
+	}
+	if g.HasEdge(2, 2) {
+		t.Fatal("self loop present")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderRange(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 3); err != ErrNodeRange {
+		t.Fatalf("got %v, want ErrNodeRange", err)
+	}
+	if err := b.AddEdge(-1, 0); err != ErrNodeRange {
+		t.Fatalf("got %v, want ErrNodeRange", err)
+	}
+}
+
+func TestBuilderRemoveEdge(t *testing.T) {
+	b := NewBuilder(3)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 2)
+	b.RemoveEdge(1, 0)
+	if b.HasEdge(0, 1) {
+		t.Fatal("edge 0-1 should be removed")
+	}
+	if b.M() != 1 {
+		t.Fatalf("M = %d, want 1", b.M())
+	}
+	b.RemoveEdge(0, 2) // absent: no-op
+	if b.M() != 1 {
+		t.Fatalf("M after removing absent edge = %d, want 1", b.M())
+	}
+}
+
+func TestDegreesAndNeighbors(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}})
+	want := []int{3, 2, 2, 1}
+	got := g.Degrees()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("degree[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	nb := g.Neighbors(0)
+	if !sort.SliceIsSorted(nb, func(i, j int) bool { return nb[i] < nb[j] }) {
+		t.Fatal("neighbors not sorted")
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", g.MaxDegree())
+	}
+}
+
+func TestHasEdgeOutOfRange(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1}})
+	if g.HasEdge(0, 5) || g.HasEdge(-1, 0) || g.HasEdge(1, 1) {
+		t.Fatal("out-of-range or self query should be false")
+	}
+}
+
+func TestEdgesCanonical(t *testing.T) {
+	g := FromEdges(4, []Edge{{2, 1}, {3, 0}})
+	for _, e := range g.Edges() {
+		if e.U >= e.V {
+			t.Fatalf("edge %v not canonical", e)
+		}
+	}
+	if len(g.Edges()) != 2 {
+		t.Fatalf("edges = %d, want 2", len(g.Edges()))
+	}
+}
+
+func TestCanon(t *testing.T) {
+	if Canon(3, 1) != (Edge{1, 3}) || Canon(1, 3) != (Edge{1, 3}) {
+		t.Fatal("Canon broken")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	if d := g.Density(); d != 1 {
+		t.Fatalf("K4 density = %g, want 1", d)
+	}
+	if New(1).Density() != 0 {
+		t.Fatal("single-node density should be 0")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1}})
+	c := g.Clone()
+	if c.N() != g.N() || c.M() != g.M() || !c.HasEdge(0, 1) {
+		t.Fatal("clone mismatch")
+	}
+	// mutating the clone's adjacency must not affect the original
+	c.adj[0][0] = 2
+	if !g.HasEdge(0, 1) {
+		t.Fatal("clone shares memory with original")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}})
+	sub := g.Subgraph([]int32{1, 2, 3})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("subgraph n=%d m=%d, want 3, 2", sub.N(), sub.M())
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) {
+		t.Fatal("subgraph edges wrong")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := FromEdges(6, []Edge{{0, 1}, {1, 2}, {3, 4}})
+	comps := g.Components()
+	if len(comps) != 3 { // {0,1,2}, {3,4}, {5}
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	lc := g.LargestComponent()
+	if len(lc) != 3 {
+		t.Fatalf("largest component size = %d, want 3", len(lc))
+	}
+}
+
+func TestFromAdjacencySymmetrizes(t *testing.T) {
+	g := FromAdjacency([][]int32{{1, 2}, {}, {}})
+	if !g.HasEdge(1, 0) || !g.HasEdge(2, 0) {
+		t.Fatal("adjacency not symmetrized")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1}})
+	g.adj[0] = append(g.adj[0], 2) // asymmetric corruption
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted asymmetric graph")
+	}
+}
+
+// property: any random edge list yields a valid graph with degree sum 2m.
+func TestQuickBuildInvariants(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%50) + 2
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		if g.Validate() != nil {
+			return false
+		}
+		sum := 0
+		for _, d := range g.Degrees() {
+			sum += d
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// property: HasEdge agrees with the edge list.
+func TestQuickHasEdgeConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		b := NewBuilder(n)
+		for i := 0; i < 30; i++ {
+			_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		set := map[Edge]bool{}
+		for _, e := range g.Edges() {
+			set[e] = true
+		}
+		for u := int32(0); u < int32(n); u++ {
+			for v := u + 1; v < int32(n); v++ {
+				if g.HasEdge(u, v) != set[Edge{u, v}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

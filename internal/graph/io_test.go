@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := FromEdges(6, []Edge{{0, 1}, {2, 3}, {4, 5}, {0, 5}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("round trip: n=%d m=%d, want n=%d m=%d", got.N(), got.M(), g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if !got.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestReadEdgeListNoHeader(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n2 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d, want 5, 2", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListIsolatedNodes(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# nodes=10\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 {
+		t.Fatalf("n=%d, want 10 from header", g.N())
+	}
+}
+
+func TestReadEdgeListMalformed(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("0\n")); err == nil {
+		t.Fatal("expected error for missing endpoint")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n")); err == nil {
+		t.Fatal("expected error for non-numeric endpoint")
+	}
+}
+
+func TestReadEdgeListCommentsAndBlank(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# a comment\n\n0 1\n# another\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m=%d, want 2", g.M())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := FromEdges(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, []int{0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph pgb {", "n0 -- n1", "n1 -- n2", "fillcolor"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTNilLabels(t *testing.T) {
+	g := FromEdges(2, []Edge{{U: 0, V: 1}})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "n0 -- n1") {
+		t.Fatal("edge missing")
+	}
+}

@@ -1,0 +1,356 @@
+// Package metrics implements the eleven error metrics of PGB's utility
+// element U (Table IV, E1-E11): relative error, mean relative/absolute/
+// square error, KL divergence, Hellinger distance, Kolmogorov-Smirnov
+// statistic, and the partition-similarity scores NMI, ARI, AMI and
+// average F1.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// RelativeError is E1: |true − est| / |true|. When the true value is zero
+// the denominator is clamped to 1, keeping the metric finite (the standard
+// convention in DP benchmarking, where queries like assortativity can be 0).
+func RelativeError(truth, est float64) float64 {
+	den := math.Abs(truth)
+	if den == 0 {
+		den = 1
+	}
+	return math.Abs(truth-est) / den
+}
+
+// MeanRelativeError is E2 over paired vectors. Zero-valued truths clamp
+// the denominator to 1, as in RelativeError. Panics on length mismatch.
+func MeanRelativeError(truth, est []float64) float64 {
+	checkLen(truth, est)
+	if len(truth) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range truth {
+		s += RelativeError(truth[i], est[i])
+	}
+	return s / float64(len(truth))
+}
+
+// MeanAbsoluteError is E7.
+func MeanAbsoluteError(truth, est []float64) float64 {
+	checkLen(truth, est)
+	if len(truth) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range truth {
+		s += math.Abs(truth[i] - est[i])
+	}
+	return s / float64(len(truth))
+}
+
+// MeanSquareError is E8.
+func MeanSquareError(truth, est []float64) float64 {
+	checkLen(truth, est)
+	if len(truth) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range truth {
+		d := truth[i] - est[i]
+		s += d * d
+	}
+	return s / float64(len(truth))
+}
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic("metrics: length mismatch")
+	}
+}
+
+// alignAndNormalize pads the shorter distribution with zeros and
+// renormalises both to sum to 1 (treating negative mass as zero).
+func alignAndNormalize(p, q []float64) ([]float64, []float64) {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	pp := make([]float64, n)
+	qq := make([]float64, n)
+	var sp, sq float64
+	for i := range pp {
+		if i < len(p) && p[i] > 0 {
+			pp[i] = p[i]
+			sp += p[i]
+		}
+		if i < len(q) && q[i] > 0 {
+			qq[i] = q[i]
+			sq += q[i]
+		}
+	}
+	if sp > 0 {
+		for i := range pp {
+			pp[i] /= sp
+		}
+	}
+	if sq > 0 {
+		for i := range qq {
+			qq[i] /= sq
+		}
+	}
+	return pp, qq
+}
+
+// KLDivergence is E3: D(P‖Q) with additive smoothing (α = 1e-9) so the
+// divergence stays finite when the synthetic distribution has empty bins —
+// the standard treatment for noisy degree distributions.
+func KLDivergence(p, q []float64) float64 {
+	pp, qq := alignAndNormalize(p, q)
+	const alpha = 1e-9
+	n := float64(len(pp))
+	d := 0.0
+	for i := range pp {
+		pi := (pp[i] + alpha) / (1 + alpha*n)
+		qi := (qq[i] + alpha) / (1 + alpha*n)
+		d += pi * math.Log(pi/qi)
+	}
+	if d < 0 {
+		d = 0 // guard tiny negative from float error
+	}
+	return d
+}
+
+// HellingerDistance is E4: (1/√2)·‖√P − √Q‖₂ ∈ [0, 1].
+func HellingerDistance(p, q []float64) float64 {
+	pp, qq := alignAndNormalize(p, q)
+	s := 0.0
+	for i := range pp {
+		d := math.Sqrt(pp[i]) - math.Sqrt(qq[i])
+		s += d * d
+	}
+	return math.Sqrt(s) / math.Sqrt2
+}
+
+// KolmogorovSmirnov is E5: the maximum absolute difference between the
+// two CDFs, ∈ [0, 1].
+func KolmogorovSmirnov(p, q []float64) float64 {
+	pp, qq := alignAndNormalize(p, q)
+	var cp, cq, ks float64
+	for i := range pp {
+		cp += pp[i]
+		cq += qq[i]
+		if d := math.Abs(cp - cq); d > ks {
+			ks = d
+		}
+	}
+	return ks
+}
+
+// contingency builds the contingency table of two labelings plus the
+// marginal counts.
+func contingency(a, b []int) (table map[[2]int]float64, ma, mb map[int]float64, n float64) {
+	if len(a) != len(b) {
+		panic("metrics: partition length mismatch")
+	}
+	table = make(map[[2]int]float64)
+	ma = make(map[int]float64)
+	mb = make(map[int]float64)
+	for i := range a {
+		table[[2]int{a[i], b[i]}]++
+		ma[a[i]]++
+		mb[b[i]]++
+	}
+	return table, ma, mb, float64(len(a))
+}
+
+// sortedKeys and sortedPairKeys fix the accumulation order: float sums
+// over Go maps would otherwise differ in the last bit between runs,
+// breaking PGB's bit-for-bit reproducibility contract.
+func sortedKeys(m map[int]float64) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+func sortedPairKeys(m map[[2]int]float64) [][2]int {
+	ks := make([][2]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i][0] != ks[j][0] {
+			return ks[i][0] < ks[j][0]
+		}
+		return ks[i][1] < ks[j][1]
+	})
+	return ks
+}
+
+func entropy(marg map[int]float64, n float64) float64 {
+	h := 0.0
+	for _, k := range sortedKeys(marg) {
+		p := marg[k] / n
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+func mutualInformation(table map[[2]int]float64, ma, mb map[int]float64, n float64) float64 {
+	mi := 0.0
+	for _, k := range sortedPairKeys(table) {
+		nij := table[k]
+		if nij == 0 {
+			continue
+		}
+		// p_ij·log(p_ij / (p_i·p_j)) = (n_ij/n)·log(n_ij·n / (a_i·b_j))
+		mi += nij / n * math.Log(nij*n/(ma[k[0]]*mb[k[1]]))
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}
+
+// NMI is E11: normalized mutual information with arithmetic-mean
+// normalisation, ∈ [0, 1]. Two all-singleton or all-identical partitions
+// with zero entropy on both sides score 1 if equal, 0 otherwise.
+func NMI(a, b []int) float64 {
+	table, ma, mb, n := contingency(a, b)
+	if n == 0 {
+		return 1
+	}
+	ha, hb := entropy(ma, n), entropy(mb, n)
+	if ha == 0 && hb == 0 {
+		return 1 // both partitions trivial and hence identical in structure
+	}
+	if ha == 0 || hb == 0 {
+		return 0
+	}
+	mi := mutualInformation(table, ma, mb, n)
+	return mi / ((ha + hb) / 2)
+}
+
+// ARI is E9: the adjusted Rand index (Hubert & Arabie correction),
+// 1 for identical partitions, ≈0 for independent ones.
+func ARI(a, b []int) float64 {
+	table, ma, mb, n := contingency(a, b)
+	if n < 2 {
+		return 1
+	}
+	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
+	var sumIJ, sumA, sumB float64
+	for _, k := range sortedPairKeys(table) {
+		sumIJ += choose2(table[k])
+	}
+	for _, k := range sortedKeys(ma) {
+		sumA += choose2(ma[k])
+	}
+	for _, k := range sortedKeys(mb) {
+		sumB += choose2(mb[k])
+	}
+	total := choose2(n)
+	expected := sumA * sumB / total
+	maxIdx := (sumA + sumB) / 2
+	if maxIdx == expected {
+		return 1 // both partitions trivial
+	}
+	return (sumIJ - expected) / (maxIdx - expected)
+}
+
+// AMI is E10: adjusted mutual information with arithmetic-mean
+// normalisation. The expected MI under the permutation model is computed
+// with the exact hypergeometric formula (Vinh, Epps & Bailey 2009) using
+// log-gamma arithmetic.
+func AMI(a, b []int) float64 {
+	table, ma, mb, n := contingency(a, b)
+	if n == 0 {
+		return 1
+	}
+	ha, hb := entropy(ma, n), entropy(mb, n)
+	if ha == 0 && hb == 0 {
+		return 1
+	}
+	mi := mutualInformation(table, ma, mb, n)
+	emi := expectedMI(ma, mb, n)
+	den := (ha+hb)/2 - emi
+	if math.Abs(den) < 1e-15 {
+		return 0
+	}
+	v := (mi - emi) / den
+	return v
+}
+
+// expectedMI computes E[MI] under the hypergeometric permutation model.
+func expectedMI(ma, mb map[int]float64, n float64) float64 {
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x + 1)
+		return v
+	}
+	emi := 0.0
+	for _, ka := range sortedKeys(ma) {
+		ai := ma[ka]
+		for _, kb := range sortedKeys(mb) {
+			bj := mb[kb]
+			lo := math.Max(1, ai+bj-n)
+			hi := math.Min(ai, bj)
+			for nij := lo; nij <= hi; nij++ {
+				term := nij / n * math.Log(n*nij/(ai*bj))
+				logP := lg(ai) + lg(bj) + lg(n-ai) + lg(n-bj) -
+					lg(n) - lg(nij) - lg(ai-nij) - lg(bj-nij) - lg(n-ai-bj+nij)
+				emi += term * math.Exp(logP)
+			}
+		}
+	}
+	return emi
+}
+
+// AvgF1 is E6: the average F1 score between two partitions — for each
+// community in A, the best-matching F1 against any community in B, averaged
+// both ways (Rossetti et al. 2017).
+func AvgF1(a, b []int) float64 {
+	return (bestMatchF1(a, b) + bestMatchF1(b, a)) / 2
+}
+
+func bestMatchF1(a, b []int) float64 {
+	if len(a) != len(b) {
+		panic("metrics: partition length mismatch")
+	}
+	if len(a) == 0 {
+		return 1
+	}
+	groupsA := groupBy(a)
+	groupsB := groupBy(b)
+	labelB := b
+	total := 0.0
+	for _, membersA := range groupsA {
+		// count overlap of membersA with each community of B
+		overlap := make(map[int]float64)
+		for _, u := range membersA {
+			overlap[labelB[u]]++
+		}
+		best := 0.0
+		for cb, ov := range overlap {
+			prec := ov / float64(len(membersA))
+			rec := ov / float64(len(groupsB[cb]))
+			f1 := 2 * prec * rec / (prec + rec)
+			if f1 > best {
+				best = f1
+			}
+		}
+		total += best
+	}
+	return total / float64(len(groupsA))
+}
+
+func groupBy(labels []int) map[int][]int {
+	g := make(map[int][]int)
+	for u, l := range labels {
+		g[l] = append(g[l], u)
+	}
+	return g
+}

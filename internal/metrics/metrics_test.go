@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelativeError(t *testing.T) {
+	if v := RelativeError(10, 8); math.Abs(v-0.2) > 1e-12 {
+		t.Fatalf("RE = %g, want 0.2", v)
+	}
+	if v := RelativeError(0, 3); v != 3 { // zero truth clamps denominator
+		t.Fatalf("RE with zero truth = %g, want 3", v)
+	}
+	if v := RelativeError(-5, -5); v != 0 {
+		t.Fatalf("RE identical = %g, want 0", v)
+	}
+}
+
+func TestMeanRelativeError(t *testing.T) {
+	if v := MeanRelativeError([]float64{10, 20}, []float64{8, 22}); math.Abs(v-0.15) > 1e-12 {
+		t.Fatalf("MRE = %g, want 0.15", v)
+	}
+	if v := MeanRelativeError(nil, nil); v != 0 {
+		t.Fatalf("MRE empty = %g", v)
+	}
+}
+
+func TestMeanAbsoluteError(t *testing.T) {
+	if v := MeanAbsoluteError([]float64{1, 2}, []float64{2, 4}); math.Abs(v-1.5) > 1e-12 {
+		t.Fatalf("MAE = %g, want 1.5", v)
+	}
+}
+
+func TestMeanSquareError(t *testing.T) {
+	if v := MeanSquareError([]float64{1, 2}, []float64{2, 4}); math.Abs(v-2.5) > 1e-12 {
+		t.Fatalf("MSE = %g, want 2.5", v)
+	}
+}
+
+func TestPairedMetricsPanicOnMismatch(t *testing.T) {
+	for i, f := range []func(){
+		func() { MeanRelativeError([]float64{1}, []float64{1, 2}) },
+		func() { MeanAbsoluteError([]float64{1}, nil) },
+		func() { MeanSquareError([]float64{1}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKLDivergenceIdentical(t *testing.T) {
+	p := []float64{0.2, 0.3, 0.5}
+	if v := KLDivergence(p, p); v > 1e-9 {
+		t.Fatalf("KL identical = %g, want ~0", v)
+	}
+}
+
+func TestKLDivergenceFiniteOnDisjoint(t *testing.T) {
+	v := KLDivergence([]float64{1, 0}, []float64{0, 1})
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("KL disjoint = %g, want finite", v)
+	}
+	if v <= 1 {
+		t.Fatalf("KL disjoint = %g, want large", v)
+	}
+}
+
+func TestKLDivergenceDifferentLengths(t *testing.T) {
+	v := KLDivergence([]float64{0.5, 0.5}, []float64{0.5, 0.25, 0.25})
+	if math.IsNaN(v) || v < 0 {
+		t.Fatalf("KL with padding = %g", v)
+	}
+}
+
+func TestHellingerKnownValues(t *testing.T) {
+	if v := HellingerDistance([]float64{1, 0}, []float64{0, 1}); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("Hellinger disjoint = %g, want 1", v)
+	}
+	p := []float64{0.4, 0.6}
+	if v := HellingerDistance(p, p); v > 1e-9 {
+		t.Fatalf("Hellinger identical = %g, want 0", v)
+	}
+}
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	if v := KolmogorovSmirnov([]float64{1, 0}, []float64{0, 1}); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("KS disjoint = %g, want 1", v)
+	}
+	p := []float64{0.25, 0.25, 0.5}
+	if v := KolmogorovSmirnov(p, p); v > 1e-12 {
+		t.Fatalf("KS identical = %g, want 0", v)
+	}
+}
+
+func TestNMIIdenticalAndIndependent(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if v := NMI(a, a); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("NMI identical = %g, want 1", v)
+	}
+	// permuted labels: still identical structure
+	b := []int{5, 5, 9, 9, 7, 7}
+	if v := NMI(a, b); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("NMI relabelled = %g, want 1", v)
+	}
+	// one side trivial (single community): NMI 0
+	c := []int{0, 0, 0, 0, 0, 0}
+	if v := NMI(a, c); v != 0 {
+		t.Fatalf("NMI vs trivial = %g, want 0", v)
+	}
+}
+
+func TestARIIdenticalAndRandom(t *testing.T) {
+	a := []int{0, 0, 1, 1}
+	if v := ARI(a, a); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("ARI identical = %g, want 1", v)
+	}
+	// independent large random partitions: ARI ≈ 0
+	r := rand.New(rand.NewSource(3))
+	x := make([]int, 2000)
+	y := make([]int, 2000)
+	for i := range x {
+		x[i] = r.Intn(5)
+		y[i] = r.Intn(5)
+	}
+	if v := ARI(x, y); math.Abs(v) > 0.05 {
+		t.Fatalf("ARI independent = %g, want ~0", v)
+	}
+}
+
+func TestAMIIdenticalAndIndependent(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if v := AMI(a, a); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("AMI identical = %g, want 1", v)
+	}
+	r := rand.New(rand.NewSource(5))
+	x := make([]int, 500)
+	y := make([]int, 500)
+	for i := range x {
+		x[i] = r.Intn(4)
+		y[i] = r.Intn(4)
+	}
+	if v := AMI(x, y); math.Abs(v) > 0.1 {
+		t.Fatalf("AMI independent = %g, want ~0", v)
+	}
+}
+
+func TestAvgF1(t *testing.T) {
+	a := []int{0, 0, 1, 1}
+	if v := AvgF1(a, a); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("AvgF1 identical = %g, want 1", v)
+	}
+	b := []int{0, 1, 0, 1}
+	v := AvgF1(a, b)
+	if v <= 0 || v >= 1 {
+		t.Fatalf("AvgF1 crossed = %g, want in (0,1)", v)
+	}
+}
+
+func TestPartitionMetricsPanicOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NMI([]int{0}, []int{0, 1})
+}
+
+// property: KL ≥ 0, Hellinger and KS in [0, 1] for random distributions.
+func TestQuickDistributionMetricBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		p := make([]float64, n)
+		q := make([]float64, n+r.Intn(5))
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		for i := range q {
+			q[i] = r.Float64()
+		}
+		kl := KLDivergence(p, q)
+		h := HellingerDistance(p, q)
+		ks := KolmogorovSmirnov(p, q)
+		return kl >= 0 && h >= 0 && h <= 1+1e-9 && ks >= 0 && ks <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// property: NMI and AvgF1 in [0, 1]; identical partitions score 1 for
+// NMI/ARI/AMI/AvgF1.
+func TestQuickPartitionMetricBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(40)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = r.Intn(4)
+			b[i] = r.Intn(4)
+		}
+		nmi := NMI(a, b)
+		f1 := AvgF1(a, b)
+		if nmi < -1e-9 || nmi > 1+1e-9 || f1 < -1e-9 || f1 > 1+1e-9 {
+			return false
+		}
+		return NMI(a, a) > 1-1e-9 && ARI(a, a) > 1-1e-9 && AMI(a, a) > 1-1e-9 && AvgF1(a, a) > 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,407 @@
+// Package stats implements the fifteen PGB graph queries (Table III/IV of
+// the paper): counting queries (|V|, |E|, triangles), degree information
+// (average degree, degree variance, degree distribution), path conditions
+// (diameter, average shortest path, distance distribution), topology
+// structure (global/average clustering coefficient, community detection,
+// modularity) and centrality (assortativity, eigenvector centrality).
+//
+// Path queries offer both exact all-pairs BFS and a sampled estimator for
+// large graphs; PGB's harness switches automatically based on graph size.
+package stats
+
+import (
+	"math"
+	"math/rand"
+
+	"pgb/internal/graph"
+)
+
+// NumNodes is query Q1: |V|. PGB counts non-isolated nodes, since synthetic
+// generators materialise a fixed node universe and the informative signal
+// is how many nodes participate in edges.
+func NumNodes(g *graph.Graph) float64 {
+	c := 0
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(int32(u)) > 0 {
+			c++
+		}
+	}
+	return float64(c)
+}
+
+// NumEdges is query Q2: |E|.
+func NumEdges(g *graph.Graph) float64 { return float64(g.M()) }
+
+// Triangles is query Q3: the number of triangles, computed by forward
+// neighbor-intersection over the degree-ordered orientation, O(m^{3/2}).
+func Triangles(g *graph.Graph) float64 {
+	n := g.N()
+	// Order nodes by (degree, id); orient each edge from lower to higher
+	// rank so every triangle is counted exactly once.
+	rank := make([]int32, n)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	deg := g.Degrees()
+	// counting sort by degree for O(n + m)
+	maxD := 0
+	for _, d := range deg {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	buckets := make([][]int32, maxD+1)
+	for u := 0; u < n; u++ {
+		buckets[deg[u]] = append(buckets[deg[u]], int32(u))
+	}
+	r := int32(0)
+	for _, b := range buckets {
+		for _, u := range b {
+			rank[u] = r
+			r++
+		}
+	}
+	// forward adjacency: higher-rank neighbors only
+	fwd := make([][]int32, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			if rank[v] > rank[u] {
+				fwd[u] = append(fwd[u], v)
+			}
+		}
+	}
+	count := 0.0
+	mark := make([]bool, n)
+	for u := 0; u < n; u++ {
+		for _, v := range fwd[u] {
+			mark[v] = true
+		}
+		for _, v := range fwd[u] {
+			for _, w := range fwd[v] {
+				if mark[w] {
+					count++
+				}
+			}
+		}
+		for _, v := range fwd[u] {
+			mark[v] = false
+		}
+	}
+	return count
+}
+
+// AvgDegree is query Q4: 2m/n.
+func AvgDegree(g *graph.Graph) float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.M()) / float64(g.N())
+}
+
+// DegreeVariance is query Q5: the population variance of the degree
+// sequence.
+func DegreeVariance(g *graph.Graph) float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	mean := AvgDegree(g)
+	s := 0.0
+	for u := 0; u < n; u++ {
+		d := float64(g.Degree(int32(u)))
+		s += (d - mean) * (d - mean)
+	}
+	return s / float64(n)
+}
+
+// DegreeDistribution is query Q6: the degree histogram normalised to a
+// probability distribution, indexed by degree 0..maxDegree.
+func DegreeDistribution(g *graph.Graph) []float64 {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	hist := make([]float64, g.MaxDegree()+1)
+	for u := 0; u < n; u++ {
+		hist[g.Degree(int32(u))]++
+	}
+	for i := range hist {
+		hist[i] /= float64(n)
+	}
+	return hist
+}
+
+// DistanceStats bundles the three path queries Q7-Q9, which share the BFS
+// work: Diameter (longest shortest path), AvgPath (mean finite shortest-
+// path length) and Distribution (probability mass over distances 1..max).
+// Infinite distances (disconnected pairs) are excluded, following the
+// convention of the paper's query suite.
+type DistanceStats struct {
+	Diameter     float64
+	AvgPath      float64
+	Distribution []float64
+}
+
+// ExactDistances runs BFS from every node: O(nm). Suitable for graphs up
+// to a few thousand nodes.
+func ExactDistances(g *graph.Graph) DistanceStats {
+	return bfsDistances(g, nil)
+}
+
+// SampledDistances estimates the path queries by running BFS from a
+// uniform sample of source nodes. The diameter estimate is the maximum
+// eccentricity over sampled sources (a lower bound, standard practice for
+// large-graph benchmarking).
+func SampledDistances(g *graph.Graph, samples int, rng *rand.Rand) DistanceStats {
+	n := g.N()
+	if samples >= n {
+		return ExactDistances(g)
+	}
+	perm := rng.Perm(n)
+	sources := make([]int32, samples)
+	for i := 0; i < samples; i++ {
+		sources[i] = int32(perm[i])
+	}
+	return bfsDistances(g, sources)
+}
+
+// Distances picks exact computation for small graphs and sampling above
+// the threshold, matching the harness defaults.
+func Distances(g *graph.Graph, exactLimit, samples int, rng *rand.Rand) DistanceStats {
+	if g.N() <= exactLimit {
+		return ExactDistances(g)
+	}
+	return SampledDistances(g, samples, rng)
+}
+
+func bfsDistances(g *graph.Graph, sources []int32) DistanceStats {
+	n := g.N()
+	if n == 0 {
+		return DistanceStats{}
+	}
+	if sources == nil {
+		sources = make([]int32, n)
+		for i := range sources {
+			sources[i] = int32(i)
+		}
+	}
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	var (
+		maxDist  int32
+		sumDist  float64
+		numPairs float64
+		hist     []int64
+	)
+	for _, s := range sources {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			du := dist[u]
+			for _, v := range g.Neighbors(u) {
+				if dist[v] < 0 {
+					dist[v] = du + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for u := 0; u < n; u++ {
+			d := dist[u]
+			if d <= 0 {
+				continue // unreachable or self
+			}
+			if d > maxDist {
+				maxDist = d
+			}
+			sumDist += float64(d)
+			numPairs++
+			for int(d) >= len(hist) {
+				hist = append(hist, 0)
+			}
+			hist[d]++
+		}
+	}
+	st := DistanceStats{Diameter: float64(maxDist)}
+	if numPairs > 0 {
+		st.AvgPath = sumDist / numPairs
+		st.Distribution = make([]float64, len(hist))
+		for i, c := range hist {
+			st.Distribution[i] = float64(c) / numPairs
+		}
+	}
+	return st
+}
+
+// GlobalClustering is query Q10: 3*triangles / number of connected triples
+// (wedges), a.k.a. transitivity.
+func GlobalClustering(g *graph.Graph) float64 {
+	wedges := 0.0
+	for u := 0; u < g.N(); u++ {
+		d := float64(g.Degree(int32(u)))
+		wedges += d * (d - 1) / 2
+	}
+	if wedges == 0 {
+		return 0
+	}
+	return 3 * Triangles(g) / wedges
+}
+
+// LocalClustering returns the per-node clustering coefficient C_i =
+// e_i / C(d_i, 2); nodes with degree < 2 have C_i = 0.
+func LocalClustering(g *graph.Graph) []float64 {
+	n := g.N()
+	cc := make([]float64, n)
+	mark := make([]bool, n)
+	for u := 0; u < n; u++ {
+		nb := g.Neighbors(int32(u))
+		d := len(nb)
+		if d < 2 {
+			continue
+		}
+		for _, v := range nb {
+			mark[v] = true
+		}
+		links := 0
+		for _, v := range nb {
+			for _, w := range g.Neighbors(v) {
+				if w > v && mark[w] {
+					links++
+				}
+			}
+		}
+		for _, v := range nb {
+			mark[v] = false
+		}
+		cc[u] = 2 * float64(links) / (float64(d) * float64(d-1))
+	}
+	return cc
+}
+
+// AvgClustering is query Q11: the mean of the local clustering
+// coefficients (Watts-Strogatz ACC).
+func AvgClustering(g *graph.Graph) float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	cc := LocalClustering(g)
+	s := 0.0
+	for _, c := range cc {
+		s += c
+	}
+	return s / float64(len(cc))
+}
+
+// Modularity is query Q13 given a partition (community label per node):
+// Q = Σ_c [ m_c/m − (d_c/2m)² ].
+func Modularity(g *graph.Graph, labels []int) float64 {
+	m := float64(g.M())
+	if m == 0 {
+		return 0
+	}
+	maxL := 0
+	for _, l := range labels {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	intra := make([]float64, maxL+1)
+	degSum := make([]float64, maxL+1)
+	for u := 0; u < g.N(); u++ {
+		lu := labels[u]
+		degSum[lu] += float64(g.Degree(int32(u)))
+		for _, v := range g.Neighbors(int32(u)) {
+			if int32(u) < v && labels[v] == lu {
+				intra[lu]++
+			}
+		}
+	}
+	q := 0.0
+	for c := range intra {
+		q += intra[c]/m - (degSum[c]/(2*m))*(degSum[c]/(2*m))
+	}
+	return q
+}
+
+// Assortativity is query Q14: the Pearson degree-degree correlation over
+// edges (Newman's assortativity coefficient).
+func Assortativity(g *graph.Graph) float64 {
+	var s1, s2, s3 float64 // Σ(j*k), Σ(j+k)/2, Σ(j²+k²)/2 over edges
+	m := float64(g.M())
+	if m == 0 {
+		return 0
+	}
+	for u := 0; u < g.N(); u++ {
+		du := float64(g.Degree(int32(u)))
+		for _, v := range g.Neighbors(int32(u)) {
+			if int32(u) < v {
+				dv := float64(g.Degree(v))
+				s1 += du * dv
+				s2 += (du + dv) / 2
+				s3 += (du*du + dv*dv) / 2
+			}
+		}
+	}
+	num := s1/m - (s2/m)*(s2/m)
+	den := s3/m - (s2/m)*(s2/m)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// EigenvectorCentrality is query Q15: the principal-eigenvector scores via
+// power iteration, L2-normalised. Returns the zero vector for an empty
+// graph. iterations=0 uses a default of 100.
+func EigenvectorCentrality(g *graph.Graph, iterations int, tol float64) []float64 {
+	n := g.N()
+	x := make([]float64, n)
+	if n == 0 {
+		return x
+	}
+	if iterations <= 0 {
+		iterations = 100
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	for i := range x {
+		x[i] = 1 / math.Sqrt(float64(n))
+	}
+	y := make([]float64, n)
+	for it := 0; it < iterations; it++ {
+		// iterate on A + I: the shift breaks the ±λ oscillation on
+		// bipartite graphs without changing the principal eigenvector
+		copy(y, x)
+		for u := 0; u < n; u++ {
+			xu := x[u]
+			for _, v := range g.Neighbors(int32(u)) {
+				y[v] += xu
+			}
+		}
+		norm := 0.0
+		for _, v := range y {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return x
+		}
+		diff := 0.0
+		for i := range y {
+			y[i] /= norm
+			diff += math.Abs(y[i] - x[i])
+		}
+		x, y = y, x
+		if diff < tol {
+			break
+		}
+	}
+	return x
+}

@@ -1,0 +1,171 @@
+// Package pgb is the public API of PGB-Go, a reproduction of "PGB:
+// Benchmarking Differentially Private Synthetic Graph Generation
+// Algorithms" (ICDE 2025). It exposes the benchmark's 4-tuple
+// (M, G, P, U):
+//
+//   - M — the six mechanisms (DP-dK, TmF, PrivSKG, PrivHRG, PrivGraph,
+//     DGG, plus the DER appendix baseline) behind a single Generate call;
+//   - G — the eight benchmark datasets (offline-simulated stand-ins for
+//     the six real graphs, exact generators for ER and BA);
+//   - P — the privacy-budget grid ε ∈ {0.1, 0.5, 1, 2, 5, 10};
+//   - U — the fifteen graph queries and their error metrics.
+//
+// Quick start:
+//
+//	g := pgb.LoadDataset("Facebook", 0.25, 42)
+//	syn, err := pgb.Generate("PrivGraph", g, 1.0, 7)
+//	report := pgb.Compare(g, syn, 7)
+//	fmt.Println(report)
+//
+// The full benchmark grid (Tables VII, IX, X, XII and Fig. 2) is driven
+// by RunBenchmark, or from the command line via cmd/pgb.
+package pgb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pgb/internal/core"
+	"pgb/internal/datasets"
+	"pgb/internal/graph"
+)
+
+// Graph is the graph type accepted and produced by all PGB operations.
+// Construct custom inputs with NewGraphFromEdges.
+type Graph = graph.Graph
+
+// Edge is an undirected edge with U < V.
+type Edge = graph.Edge
+
+// NewGraphFromEdges builds a simple undirected graph over n nodes from an
+// edge list; self-loops and duplicates are dropped.
+func NewGraphFromEdges(n int, edges []Edge) *Graph {
+	return graph.FromEdges(n, edges)
+}
+
+// Algorithms returns the names of the six benchmarked mechanisms in the
+// paper's order. "DER" is additionally accepted by Generate for the
+// appendix comparison.
+func Algorithms() []string { return core.AlgorithmNames() }
+
+// Datasets returns the names of the eight benchmark datasets in the
+// paper's order: Minnesota, Facebook, Wiki, HepPh, Poli, Gnutella, ER, BA.
+func Datasets() []string { return datasets.Names() }
+
+// Epsilons returns the paper's privacy-budget grid.
+func Epsilons() []float64 { return core.Epsilons() }
+
+// LoadDataset generates a benchmark dataset. scale in (0, 1] shrinks the
+// paper's node/edge targets proportionally (scale = 1 reproduces the
+// published sizes); generation is deterministic in seed.
+func LoadDataset(name string, scale float64, seed int64) (*Graph, error) {
+	spec, err := datasets.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Load(scale, seed), nil
+}
+
+// Generate runs the named differentially private generation algorithm on
+// g with total privacy budget eps, deterministically in seed. The
+// returned graph spans the same node universe as g and the call satisfies
+// ε-Edge-CDP (or (ε, δ=0.01) for DP-dK and PrivSKG).
+func Generate(algorithm string, g *Graph, eps float64, seed int64) (*Graph, error) {
+	alg, err := core.NewAlgorithm(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("pgb: privacy budget must be positive, got %g", eps)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return alg.Generate(g, eps, rng)
+}
+
+// QueryReport holds the utility comparison of a synthetic graph against
+// its source across all fifteen PGB queries.
+type QueryReport struct {
+	// Rows are ordered Q1..Q15.
+	Rows []QueryRow
+}
+
+// QueryRow is one query's outcome.
+type QueryRow struct {
+	Query        string  // paper symbol, e.g. "GCC"
+	Metric       string  // "RE", "KL", "NMI" or "MAE"
+	TrueValue    float64 // scalar queries only; 0 for distributions
+	SynValue     float64
+	Error        float64 // metric value; for NMI higher is better
+	HigherBetter bool
+}
+
+// String renders the report as an aligned table.
+func (r QueryReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-7s %14s %14s %12s\n", "Query", "Metric", "True", "Synthetic", "Error")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-10s %-7s %14.4f %14.4f %12.4f\n",
+			row.Query, row.Metric, row.TrueValue, row.SynValue, row.Error)
+	}
+	return sb.String()
+}
+
+// Compare evaluates all fifteen queries on both graphs and scores the
+// synthetic graph with the paper's metric per query.
+func Compare(truth, syn *Graph, seed int64) QueryReport {
+	rng := rand.New(rand.NewSource(seed))
+	pt := core.ComputeProfile(truth, core.ProfileOptions{}, rng)
+	ps := core.ComputeProfile(syn, core.ProfileOptions{}, rng)
+	var rep QueryReport
+	for _, q := range core.AllQueries() {
+		v, higher := core.Score(q, pt, ps)
+		row := QueryRow{Query: q.String(), Metric: q.Metric(), Error: v, HigherBetter: higher}
+		row.TrueValue, row.SynValue = scalarValues(q, pt, ps)
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+func scalarValues(q core.QueryID, t, s *core.Profile) (float64, float64) {
+	switch q {
+	case core.QNumNodes:
+		return t.NumNodes, s.NumNodes
+	case core.QNumEdges:
+		return t.NumEdges, s.NumEdges
+	case core.QTriangles:
+		return t.Triangles, s.Triangles
+	case core.QAvgDegree:
+		return t.AvgDegree, s.AvgDegree
+	case core.QDegreeVariance:
+		return t.DegreeVariance, s.DegreeVariance
+	case core.QDiameter:
+		return t.Diameter, s.Diameter
+	case core.QAvgPath:
+		return t.AvgPath, s.AvgPath
+	case core.QGlobalClustering:
+		return t.GCC, s.GCC
+	case core.QAvgClustering:
+		return t.ACC, s.ACC
+	case core.QModularity:
+		return t.Modularity, s.Modularity
+	case core.QAssortativity:
+		return t.Assortativity, s.Assortativity
+	default:
+		return 0, 0
+	}
+}
+
+// BenchmarkConfig parameterises RunBenchmark; the zero value runs the
+// paper's full grid (six algorithms × eight datasets × six budgets × ten
+// repetitions at full dataset size).
+type BenchmarkConfig = core.Config
+
+// BenchmarkResults is the outcome of a benchmark run, with formatters for
+// each of the paper's tables and figures.
+type BenchmarkResults = core.Results
+
+// RunBenchmark executes the benchmark grid.
+func RunBenchmark(cfg BenchmarkConfig) (*BenchmarkResults, error) {
+	return core.Run(cfg)
+}

@@ -1,0 +1,91 @@
+package pgb_test
+
+import (
+	"strings"
+	"testing"
+
+	"pgb"
+)
+
+func TestPublicSurfaces(t *testing.T) {
+	if len(pgb.Algorithms()) != 6 {
+		t.Fatalf("Algorithms() = %v", pgb.Algorithms())
+	}
+	if len(pgb.Datasets()) != 8 {
+		t.Fatalf("Datasets() = %v", pgb.Datasets())
+	}
+	if len(pgb.Epsilons()) != 6 {
+		t.Fatalf("Epsilons() = %v", pgb.Epsilons())
+	}
+}
+
+func TestLoadGenerateCompare(t *testing.T) {
+	g, err := pgb.LoadDataset("Facebook", 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := pgb.Generate("PrivGraph", g, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.N() != g.N() {
+		t.Fatalf("node universe changed: %d vs %d", syn.N(), g.N())
+	}
+	rep := pgb.Compare(g, syn, 7)
+	if len(rep.Rows) != 15 {
+		t.Fatalf("report rows = %d", len(rep.Rows))
+	}
+	s := rep.String()
+	for _, want := range []string{"|E|", "GCC", "CD", "EVC"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	g, _ := pgb.LoadDataset("ER", 0.05, 1)
+	if _, err := pgb.Generate("nope", g, 1, 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := pgb.Generate("TmF", g, -1, 1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if _, err := pgb.LoadDataset("nope", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestNewGraphFromEdges(t *testing.T) {
+	g := pgb.NewGraphFromEdges(3, []pgb.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	syn, err := pgb.Generate("DGG", g, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.N() != 3 {
+		t.Fatal("custom graph not accepted by Generate")
+	}
+}
+
+func TestRunBenchmarkSmall(t *testing.T) {
+	res, err := pgb.RunBenchmark(pgb.BenchmarkConfig{
+		Algorithms: []string{"TmF"},
+		Datasets:   []string{"BA"},
+		Epsilons:   []float64{1},
+		Reps:       1,
+		Scale:      0.02,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 || res.Cells[0].Err != nil {
+		t.Fatalf("cells: %+v", res.Cells)
+	}
+	if !strings.Contains(res.FormatTable7(), "TmF") {
+		t.Fatal("table formatting broken through facade")
+	}
+}
