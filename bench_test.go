@@ -9,6 +9,7 @@
 //	BenchmarkAlgorithms/*      — Table IX (time) and Table X (-benchmem)
 //	BenchmarkFig2Cells/*       — Fig. 2 error series cells
 //	BenchmarkQueries/*         — query-evaluation cost (harness overhead)
+//	BenchmarkComputeProfile/*  — serial vs parallel profile on a 6k-node graph
 //	BenchmarkTmFFilterAblation — TmF high-pass filter vs naive matrix
 //	BenchmarkDPdKSensitivity   — smooth vs global sensitivity (DP-dK)
 //	BenchmarkDGGConstruction   — BTER vs Chung-Lu construction (DGG)
@@ -34,6 +35,7 @@ import (
 	"pgb/internal/algo/tmf"
 	"pgb/internal/core"
 	"pgb/internal/datasets"
+	"pgb/internal/gen"
 	"pgb/internal/graph"
 )
 
@@ -115,6 +117,32 @@ func BenchmarkFig2Cells(b *testing.B) {
 				for _, q := range core.Fig2Queries() {
 					core.Score(q, truth, prof)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkComputeProfile measures the fifteen-query profile on a ≥5k-node
+// graph, serial versus the parallel worker pool — the headline hot-path
+// speedup of the registry-driven query engine (profile computation
+// dominates cell latency on large graphs). Results are identical in both
+// modes; only the schedule differs.
+func BenchmarkComputeProfile(b *testing.B) {
+	g := gen.BarabasiAlbert(6000, 8, rand.New(rand.NewSource(9)))
+	if g.N() < 5000 {
+		b.Fatalf("benchmark graph too small: n=%d", g.N())
+	}
+	for _, mode := range []struct {
+		name string
+		opt  core.ProfileOptions
+	}{
+		{"serial", core.ProfileOptions{Serial: true}},
+		{"parallel", core.ProfileOptions{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.ComputeProfileSeeded(g, mode.opt, int64(i))
 			}
 		})
 	}

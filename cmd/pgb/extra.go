@@ -30,13 +30,13 @@ func cmdReport(args []string) error {
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(*seed + 1))
-	truth := core.ComputeProfile(g, core.ProfileOptions{}, rng)
+	truth := core.ComputeProfileCached(g, core.ProfileOptions{}, *seed+1)
+	rng := rand.New(rand.NewSource(*seed + 2))
 	syn, err := alg.Generate(g, *eps, rng)
 	if err != nil {
 		return err
 	}
-	prof := core.ComputeProfile(syn, core.ProfileOptions{}, rng)
+	prof := core.ComputeProfileSeeded(syn, core.ProfileOptions{}, core.SubSeed(*seed+2, 1))
 	fmt.Printf("%s on %s (n=%d, m=%d → m=%d) at eps=%g\n\n",
 		*algName, *dsName, g.N(), g.M(), syn.M(), *eps)
 	fmt.Print(core.FormatExtended(core.ExtendedCompare(truth, prof)))
@@ -81,9 +81,8 @@ func cmdLDP(args []string) error {
 		return err
 	}
 	g := spec.Load(*scale, *seed)
-	rng := rand.New(rand.NewSource(*seed + 1))
-	truth := core.ComputeProfile(g, core.ProfileOptions{}, rng)
 	queries := []core.QueryID{core.QNumEdges, core.QDegreeDistribution, core.QAvgClustering, core.QCommunityDetection}
+	truth := core.ComputeProfileCached(g, core.ProfileOptions{Queries: queries}, *seed+1)
 	algs := []string{"DGG", "LDPGen", "RNL"}
 	fmt.Printf("Edge-LDP extension on %s (n=%d, m=%d); DGG is the Edge-CDP reference\n", *dsName, g.N(), g.M())
 	for _, q := range queries {
@@ -101,12 +100,13 @@ func cmdLDP(args []string) error {
 			for _, e := range core.Epsilons() {
 				sum, n := 0.0, 0
 				for rep := 0; rep < *reps; rep++ {
-					r := rand.New(rand.NewSource(*seed + int64(rep)*71 + int64(e*1000)))
+					genSeed := *seed + int64(rep)*71 + int64(e*1000)
+					r := rand.New(rand.NewSource(genSeed))
 					syn, err := alg.Generate(g, e, r)
 					if err != nil {
 						continue
 					}
-					prof := core.ComputeProfile(syn, core.ProfileOptions{}, r)
+					prof := core.ComputeProfileSeeded(syn, core.ProfileOptions{Queries: queries}, core.SubSeed(genSeed, 1))
 					v, _ := core.Score(q, truth, prof)
 					sum += v
 					n++

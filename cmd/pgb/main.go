@@ -14,7 +14,7 @@
 //
 // Common flags: -scale (dataset size factor, default 0.1), -reps
 // (repetitions per cell, default 3), -seed, -eps (comma list), -algs,
-// -datasets (comma lists), -v (progress to stderr).
+// -datasets, -queries (comma lists), -v (progress to stderr).
 package main
 
 import (
@@ -99,29 +99,31 @@ commands:
 }
 
 type gridFlags struct {
-	fs       *flag.FlagSet
-	scale    *float64
-	reps     *int
-	seed     *int64
-	epsStr   *string
-	algsStr  *string
-	dsStr    *string
-	verbose  *bool
-	parallel *int
+	fs         *flag.FlagSet
+	scale      *float64
+	reps       *int
+	seed       *int64
+	epsStr     *string
+	algsStr    *string
+	dsStr      *string
+	queriesStr *string
+	verbose    *bool
+	parallel   *int
 }
 
 func newGridFlags(name string) *gridFlags {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	return &gridFlags{
-		fs:       fs,
-		scale:    fs.Float64("scale", 0.1, "dataset size factor in (0,1]; 1 = paper sizes"),
-		reps:     fs.Int("reps", 3, "repetitions per cell (paper: 10)"),
-		seed:     fs.Int64("seed", 42, "master random seed"),
-		epsStr:   fs.String("eps", "", "comma-separated privacy budgets (default paper grid)"),
-		algsStr:  fs.String("algs", "", "comma-separated algorithm subset"),
-		dsStr:    fs.String("datasets", "", "comma-separated dataset subset"),
-		verbose:  fs.Bool("v", false, "print per-cell progress to stderr"),
-		parallel: fs.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS)"),
+		fs:         fs,
+		scale:      fs.Float64("scale", 0.1, "dataset size factor in (0,1]; 1 = paper sizes"),
+		reps:       fs.Int("reps", 3, "repetitions per cell (paper: 10)"),
+		seed:       fs.Int64("seed", 42, "master random seed"),
+		epsStr:     fs.String("eps", "", "comma-separated privacy budgets (default paper grid)"),
+		algsStr:    fs.String("algs", "", "comma-separated algorithm subset"),
+		dsStr:      fs.String("datasets", "", "comma-separated dataset subset"),
+		queriesStr: fs.String("queries", "", "comma-separated query symbols to evaluate, e.g. CD,Mod,DegDist (default: all fifteen)"),
+		verbose:    fs.Bool("v", false, "print per-cell progress to stderr"),
+		parallel:   fs.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS)"),
 	}
 }
 
@@ -146,6 +148,13 @@ func (g *gridFlags) config() (core.Config, error) {
 	}
 	if *g.dsStr != "" {
 		cfg.Datasets = splitList(*g.dsStr)
+	}
+	if *g.queriesStr != "" {
+		qs, err := core.ParseQueries(splitList(*g.queriesStr))
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Queries = qs
 	}
 	if *g.verbose {
 		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }

@@ -3,7 +3,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"strings"
 
 	"pgb/internal/core"
 )
@@ -27,17 +26,11 @@ func cmdRecommend(args []string) error {
 	}
 	scenario := core.Scenario{Nodes: *nodes, ACC: *acc, Epsilon: *eps}
 	if *queryList != "" {
-		bySymbol := map[string]core.QueryID{}
-		for _, q := range core.AllQueries() {
-			bySymbol[strings.ToLower(q.String())] = q
+		qs, err := core.ParseQueries(splitList(*queryList))
+		if err != nil {
+			return err
 		}
-		for _, tok := range splitList(*queryList) {
-			q, ok := bySymbol[strings.ToLower(tok)]
-			if !ok {
-				return fmt.Errorf("unknown query symbol %q", tok)
-			}
-			scenario.Queries = append(scenario.Queries, q)
-		}
+		scenario.Queries = qs
 	}
 	if *measured {
 		res, err := core.Run(core.Config{Scale: *scale, Reps: 2, Seed: *seed})

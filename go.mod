@@ -1,0 +1,3 @@
+module pgb
+
+go 1.24

@@ -79,8 +79,7 @@ func RunAblation(name, dataset string, scale float64, reps int, seed int64) (str
 		return "", err
 	}
 	g := spec.Load(scale, seed)
-	rng := rand.New(rand.NewSource(seed + 1))
-	truth := ComputeProfile(g, ProfileOptions{}, rng)
+	truth := ComputeProfileCached(g, ProfileOptions{Queries: ablationQueries}, seed+1)
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Ablation %s on %s (n=%d, m=%d)\n", name, dataset, g.N(), g.M())
@@ -95,12 +94,13 @@ func RunAblation(name, dataset string, scale float64, reps int, seed int64) (str
 			for _, e := range Epsilons() {
 				sum, n := 0.0, 0
 				for rep := 0; rep < reps; rep++ {
-					r := rand.New(rand.NewSource(seed + int64(rep)*101 + int64(e*1000)))
+					genSeed := seed + int64(rep)*101 + int64(e*1000)
+					r := rand.New(rand.NewSource(genSeed))
 					syn, err := v.Generator.Generate(g, e, r)
 					if err != nil {
 						continue
 					}
-					prof := ComputeProfile(syn, ProfileOptions{}, r)
+					prof := ComputeProfileSeeded(syn, ProfileOptions{Queries: ablationQueries}, SubSeed(genSeed, 1))
 					val, _ := Score(q, truth, prof)
 					sum += val
 					n++

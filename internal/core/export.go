@@ -23,15 +23,15 @@ func WriteCSV(w io.Writer, r *Results) error {
 		if c.Err != nil {
 			continue
 		}
-		for _, q := range AllQueries() {
+		for i, q := range c.Queries {
 			rec := []string{
 				c.Algorithm,
 				c.Dataset,
 				strconv.FormatFloat(c.Epsilon, 'g', -1, 64),
 				q.String(),
 				q.Metric(),
-				strconv.FormatFloat(c.Errors[q-1], 'g', 8, 64),
-				strconv.FormatFloat(c.StdDev[q-1], 'g', 8, 64),
+				strconv.FormatFloat(c.Errors[i], 'g', 8, 64),
+				strconv.FormatFloat(c.StdDev[i], 'g', 8, 64),
 				strconv.FormatFloat(c.GenSeconds, 'g', 6, 64),
 				strconv.FormatFloat(c.GenBytes, 'g', 6, 64),
 			}
@@ -64,7 +64,7 @@ func (r *Results) FormatStability() string {
 			a = &acc{}
 			per[c.Algorithm] = a
 		}
-		for q := 0; q < NumQueries; q++ {
+		for q := range c.Errors {
 			if c.Errors[q] > 1e-9 {
 				a.sum += c.StdDev[q] / c.Errors[q]
 				a.n++

@@ -125,7 +125,7 @@ func RecommendFromResults(r *Results, s Scenario) []Recommendation {
 	}
 	queries := s.Queries
 	if len(queries) == 0 {
-		queries = AllQueries()
+		queries = r.Queries()
 	}
 	idx := r.index()
 	wins := make(map[string]int)

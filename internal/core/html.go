@@ -99,11 +99,11 @@ func buildHTMLData(r *Results) htmlData {
 		Title:  "Per-query best counts (Table XII)",
 		Header: []string{"Algorithm"},
 	}
-	for _, q := range AllQueries() {
+	for _, q := range r.Queries() {
 		t12.Header = append(t12.Header, q.String())
 	}
 	colMax := map[QueryID]int{}
-	for _, q := range AllQueries() {
+	for _, q := range r.Queries() {
 		for _, alg := range r.Config.Algorithms {
 			if c := counts12[q][alg]; c > colMax[q] {
 				colMax[q] = c
@@ -112,7 +112,7 @@ func buildHTMLData(r *Results) htmlData {
 	}
 	for _, alg := range r.Config.Algorithms {
 		row := []htmlCell{{Text: alg}}
-		for _, q := range AllQueries() {
+		for _, q := range r.Queries() {
 			c := counts12[q][alg]
 			row = append(row, htmlCell{Text: fmt.Sprint(c), Best: c == colMax[q] && c > 0})
 		}
@@ -167,7 +167,12 @@ func buildHTMLData(r *Results) htmlData {
 						row = append(row, htmlCell{Text: "–"})
 						continue
 					}
-					row = append(row, htmlCell{Text: fmt.Sprintf("%.4f", c.Errors[q-1])})
+					v, evaluated := c.ErrorFor(q)
+					if !evaluated {
+						row = append(row, htmlCell{Text: "–"})
+						continue
+					}
+					row = append(row, htmlCell{Text: fmt.Sprintf("%.4f", v)})
 				}
 				ft.Rows = append(ft.Rows, row)
 			}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"pgb/internal/community"
+	"pgb/internal/graph"
+	"pgb/internal/stats"
+)
+
+// Profile caches every query answer for one graph, so the multi-query
+// comparison against a synthetic graph costs one pass per graph. Fields
+// are only populated for the compute groups the selected queries need;
+// custom query answers live in Custom keyed by their QueryID.
+type Profile struct {
+	NumNodes        float64
+	NumEdges        float64
+	Triangles       float64
+	AvgDegree       float64
+	DegreeVariance  float64
+	DegreeDist      []float64
+	Diameter        float64
+	AvgPath         float64
+	DistanceDist    []float64
+	GCC             float64
+	ACC             float64
+	CommunityLabels []int
+	Modularity      float64
+	Assortativity   float64
+	EVC             []float64
+	Custom          map[QueryID]float64
+}
+
+// ProfileOptions tunes the expensive queries and the execution of the
+// profile computation itself.
+type ProfileOptions struct {
+	// ExactPathLimit is the node count up to which all-pairs BFS is exact;
+	// larger graphs use sampled BFS. Default 2000.
+	ExactPathLimit int
+	// PathSamples is the BFS source sample size for large graphs.
+	// Default 64.
+	PathSamples int
+	// EVCIterations bounds power iteration. Default 60.
+	EVCIterations int
+	// ExactDiameter replaces the sampled diameter lower bound with the
+	// exact iFUB computation on the largest component — used by the
+	// verification appendix, where diameter is compared in absolute
+	// terms rather than relative across algorithms.
+	ExactDiameter bool
+	// Queries restricts the profile to the compute groups these queries
+	// need; nil computes every registered query. Results are identical to
+	// a full profile on the populated fields.
+	Queries []QueryID
+	// Serial disables the worker pool. Results are byte-identical either
+	// way (each pass owns an independent seeded RNG stream); Serial exists
+	// for measurement baselines and debugging.
+	Serial bool
+	// Workers bounds concurrent passes; 0 selects GOMAXPROCS.
+	Workers int
+}
+
+func (o ProfileOptions) withDefaults() ProfileOptions {
+	if o.ExactPathLimit <= 0 {
+		o.ExactPathLimit = 2000
+	}
+	if o.PathSamples <= 0 {
+		o.PathSamples = 64
+	}
+	if o.EVCIterations <= 0 {
+		o.EVCIterations = 60
+	}
+	return o
+}
+
+// SubSeed derives an independent deterministic RNG stream from a base
+// seed and a stream index, using a SplitMix64 finalizer. Streams for
+// distinct indices are statistically independent, so concurrent profile
+// passes (and the truth/synthetic profile pair in Compare) never share
+// or sequentially consume one generator.
+func SubSeed(seed int64, stream uint64) int64 {
+	z := uint64(seed) + (stream+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// profileTask is one schedulable pass of the profile computation.
+type profileTask struct {
+	cost CostClass
+	// order breaks cost ties so the dispatch sequence is deterministic.
+	order int
+	seed  int64
+	run   func(rng *rand.Rand)
+}
+
+// ComputeProfile evaluates the selected queries on g, drawing the profile
+// seed from rng. Kept for callers that thread a *rand.Rand; new code
+// should prefer ComputeProfileSeeded, which makes the stream derivation
+// explicit and cacheable.
+func ComputeProfile(g *graph.Graph, opt ProfileOptions, rng *rand.Rand) *Profile {
+	return ComputeProfileSeeded(g, opt, rng.Int63())
+}
+
+// ComputeProfileSeeded evaluates the selected queries on g. Independent
+// compute groups (structural scans, the triangle/clustering pass, the BFS
+// sweep, Louvain, power iteration, and each custom query) run concurrently
+// on a worker pool; every pass owns a deterministic RNG stream derived
+// from seed, so the result is identical for a fixed seed regardless of
+// parallelism.
+func ComputeProfileSeeded(g *graph.Graph, opt ProfileOptions, seed int64) *Profile {
+	opt = opt.withDefaults()
+	p := &Profile{}
+	tasks := profileTasks(g, opt, seed, p)
+
+	// Heaviest passes first, deterministic within a class.
+	sort.SliceStable(tasks, func(i, j int) bool {
+		if tasks[i].cost != tasks[j].cost {
+			return tasks[i].cost > tasks[j].cost
+		}
+		return tasks[i].order < tasks[j].order
+	})
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if opt.Serial || workers <= 1 {
+		for _, t := range tasks {
+			t.run(rand.New(rand.NewSource(t.seed)))
+		}
+		return p
+	}
+
+	ch := make(chan profileTask)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				t.run(rand.New(rand.NewSource(t.seed)))
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return p
+}
+
+// profileTasks assembles the passes the selected queries need. Each pass
+// writes a disjoint set of Profile fields, so passes are race-free
+// without locking; custom passes share the Custom map behind a mutex.
+func profileTasks(g *graph.Graph, opt ProfileOptions, seed int64, p *Profile) []profileTask {
+	selected := opt.Queries
+	if selected == nil {
+		selected = RegisteredQueries()
+	}
+	groups := make(map[GroupID]bool)
+	var custom []QuerySpec
+	for _, q := range selected {
+		s, ok := registry.spec(q)
+		if !ok {
+			continue
+		}
+		if s.Group == GroupCustom {
+			custom = append(custom, s)
+			continue
+		}
+		groups[s.Group] = true
+	}
+
+	var tasks []profileTask
+	add := func(group GroupID, cost CostClass, run func(rng *rand.Rand)) {
+		if !groups[group] {
+			return
+		}
+		tasks = append(tasks, profileTask{
+			cost:  cost,
+			order: int(group),
+			seed:  SubSeed(seed, uint64(group)),
+			run:   run,
+		})
+	}
+
+	add(GroupStructure, CostLight, func(*rand.Rand) {
+		p.NumNodes = stats.NumNodes(g)
+		p.NumEdges = stats.NumEdges(g)
+		p.AvgDegree = stats.AvgDegree(g)
+		p.DegreeVariance = stats.DegreeVariance(g)
+		p.DegreeDist = stats.DegreeDistribution(g)
+		p.Assortativity = stats.Assortativity(g)
+	})
+	add(GroupTriangles, CostHeavy, func(*rand.Rand) {
+		tri := stats.Triangles(g)
+		p.Triangles = tri
+		p.GCC = stats.GlobalClusteringFrom(tri, stats.Wedges(g))
+		p.ACC = stats.AvgClustering(g)
+	})
+	add(GroupDistances, CostHeavy, func(rng *rand.Rand) {
+		ds := stats.Distances(g, opt.ExactPathLimit, opt.PathSamples, rng)
+		p.Diameter = ds.Diameter
+		p.AvgPath = ds.AvgPath
+		p.DistanceDist = ds.Distribution
+		if opt.ExactDiameter {
+			p.Diameter = float64(stats.ExactDiameter(g, rng))
+		}
+	})
+	add(GroupCommunity, CostHeavy, func(rng *rand.Rand) {
+		cd := community.Louvain(g, rng)
+		p.CommunityLabels = cd.Labels
+		p.Modularity = cd.Modularity
+	})
+	add(GroupCentrality, CostMedium, func(*rand.Rand) {
+		p.EVC = stats.EigenvectorCentrality(g, opt.EVCIterations, 0)
+	})
+
+	if len(custom) > 0 {
+		p.Custom = make(map[QueryID]float64, len(custom))
+		var mu sync.Mutex
+		for _, s := range custom {
+			s := s
+			tasks = append(tasks, profileTask{
+				cost:  s.Cost,
+				order: int(GroupCustom) + int(s.ID),
+				seed:  SubSeed(seed, uint64(GroupCustom)+uint64(s.ID)),
+				run: func(rng *rand.Rand) {
+					v := s.Compute(g, opt, rng)
+					mu.Lock()
+					p.Custom[s.ID] = v
+					mu.Unlock()
+				},
+			})
+		}
+	}
+	return tasks
+}
+
+// profileCacheKey identifies one (graph, options, seed) profile
+// computation; the graph contributes its structural fingerprint.
+type profileCacheKey struct {
+	fp  uint64
+	opt string
+}
+
+// optKey canonically encodes everything besides the graph that affects
+// the profile's value. Serial/Workers are excluded: they change only the
+// schedule, never the result.
+func (o ProfileOptions) optKey(seed int64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "l%d s%d i%d x%t seed%d q", o.ExactPathLimit, o.PathSamples, o.EVCIterations, o.ExactDiameter, seed)
+	if o.Queries == nil {
+		fmt.Fprintf(&sb, "all%d", len(RegisteredQueries()))
+	} else {
+		ids := make([]int, len(o.Queries))
+		for i, q := range o.Queries {
+			ids[i] = int(q)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&sb, ",%d", id)
+		}
+	}
+	return sb.String()
+}
+
+// profileCacheLimit bounds the memoization cache. True-graph profiles are
+// the target (one per dataset per option set); synthetic one-shot graphs
+// should use the uncached path.
+const profileCacheLimit = 64
+
+var profileCache = struct {
+	sync.Mutex
+	entries map[profileCacheKey]*Profile
+	order   []profileCacheKey
+}{entries: make(map[profileCacheKey]*Profile)}
+
+// ComputeProfileCached is ComputeProfileSeeded behind a process-wide
+// memoization cache keyed by graph fingerprint, options, and seed. Use it
+// for graphs whose profile is requested repeatedly — the benchmark
+// runner's true graphs, Compare baselines, and the verification appendix.
+// The returned profile is shared: callers must treat it as read-only.
+func ComputeProfileCached(g *graph.Graph, opt ProfileOptions, seed int64) *Profile {
+	key := profileCacheKey{fp: g.Fingerprint(), opt: opt.withDefaults().optKey(seed)}
+	profileCache.Lock()
+	if p, ok := profileCache.entries[key]; ok {
+		touchProfileKey(key) // LRU: keep hot true-graph entries resident
+		profileCache.Unlock()
+		return p
+	}
+	profileCache.Unlock()
+
+	p := ComputeProfileSeeded(g, opt, seed)
+
+	profileCache.Lock()
+	defer profileCache.Unlock()
+	if existing, ok := profileCache.entries[key]; ok {
+		touchProfileKey(key)
+		return existing // another goroutine computed it first; keep one copy
+	}
+	if len(profileCache.order) >= profileCacheLimit {
+		oldest := profileCache.order[0]
+		profileCache.order = profileCache.order[1:]
+		delete(profileCache.entries, oldest)
+	}
+	profileCache.entries[key] = p
+	profileCache.order = append(profileCache.order, key)
+	return p
+}
+
+// touchProfileKey moves key to the most-recently-used end of the eviction
+// order. Callers must hold profileCache's lock.
+func touchProfileKey(key profileCacheKey) {
+	order := profileCache.order
+	for i, k := range order {
+		if k == key {
+			copy(order[i:], order[i+1:])
+			order[len(order)-1] = key
+			return
+		}
+	}
+}

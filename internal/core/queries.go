@@ -5,19 +5,27 @@
 // best-count aggregations of Definitions 5 and 6 that produce Tables VII
 // and XII, the Fig. 2 error series, the time/space measurements of Tables
 // IX and X, and the verification appendix.
+//
+// The U axis is registry-driven: every query is a self-describing
+// QuerySpec (paper symbol, error metric, compute group, scorer, scalar
+// extractor) registered in a central table. The fifteen paper queries are
+// pre-registered; RegisterQuery adds caller-defined queries that flow
+// through the same profile computation, scoring, and table machinery.
 package core
 
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
+	"sync"
 
-	"pgb/internal/community"
 	"pgb/internal/graph"
 	"pgb/internal/metrics"
-	"pgb/internal/stats"
 )
 
-// QueryID identifies one of the fifteen PGB graph queries (Table III).
+// QueryID identifies a PGB graph query. IDs 1..15 are the paper's queries
+// (Table III); higher IDs are assigned by RegisterQuery.
 type QueryID int
 
 // The fifteen queries in paper order.
@@ -38,42 +46,214 @@ const (
 	QAssortativity
 	QEigenvectorCentrality
 
+	// NumQueries is the number of built-in paper queries.
 	NumQueries = 15
 )
 
-// String returns the paper's symbol for the query.
+// GroupID identifies one independent profile-computation pass. Queries in
+// the same group share a pass (e.g. the three path queries share the BFS
+// sweep); distinct groups run concurrently on the profile worker pool,
+// each with its own deterministic RNG stream.
+type GroupID int
+
+// The built-in computation groups, roughly ordered by cost.
+const (
+	GroupStructure  GroupID = iota // degree-based scalars, histograms, assortativity
+	GroupTriangles                 // triangle count and clustering coefficients
+	GroupDistances                 // exact or sampled BFS (consumes RNG)
+	GroupCommunity                 // Louvain community detection (consumes RNG)
+	GroupCentrality                // eigenvector-centrality power iteration
+	GroupCustom                    // user-registered queries, one sub-pass each
+)
+
+// CostClass declares the relative weight of a query's compute pass. The
+// profile worker pool dispatches heavy passes first so the critical path
+// is not left for last.
+type CostClass int
+
+// Cost classes from cheapest to most expensive.
+const (
+	CostLight  CostClass = iota // linear scans over nodes/edges
+	CostMedium                  // bounded iterative passes (power iteration)
+	CostHeavy                   // super-linear passes (BFS sweep, Louvain, triangles)
+)
+
+// QuerySpec is one self-describing query: identity and presentation
+// (Symbol, Metric, HigherBetter), where its answer comes from (Group,
+// Cost, Compute), and how it is evaluated against a baseline (Score,
+// Scalar). Built-in queries are materialised by their group's pass and
+// leave Compute nil; custom queries supply Compute and store their answer
+// in Profile.Custom.
+type QuerySpec struct {
+	ID     QueryID
+	Symbol string // paper symbol, e.g. "GCC"
+	Metric string // error-metric label: "RE", "KL", "NMI", "MAE", ...
+	// HigherBetter marks scores where larger is better (NMI-style
+	// similarities) rather than smaller (errors and divergences).
+	HigherBetter bool
+	Group        GroupID
+	Cost         CostClass
+	// Score evaluates the synthetic profile against the truth profile.
+	Score func(truth, syn *Profile) float64
+	// Scalar extracts the query's raw per-graph value; ok=false for
+	// distribution- or vector-valued queries with no single scalar.
+	Scalar func(p *Profile) (value float64, ok bool)
+	// Compute answers a custom query directly on the graph. rng is a
+	// deterministic per-query stream derived from the profile seed.
+	Compute func(g *graph.Graph, opt ProfileOptions, rng *rand.Rand) float64
+}
+
+// relQuery builds the spec for a scalar query scored by relative error.
+func relQuery(id QueryID, symbol string, group GroupID, cost CostClass, get func(*Profile) float64) QuerySpec {
+	return QuerySpec{
+		ID: id, Symbol: symbol, Metric: "RE", Group: group, Cost: cost,
+		Score:  func(t, s *Profile) float64 { return metrics.RelativeError(get(t), get(s)) },
+		Scalar: func(p *Profile) (float64, bool) { return get(p), true },
+	}
+}
+
+// builtinQuerySpecs is the central table defining the paper's fifteen
+// queries — the only place in the codebase that enumerates them.
+func builtinQuerySpecs() []QuerySpec {
+	return []QuerySpec{
+		relQuery(QNumNodes, "|V|", GroupStructure, CostLight, func(p *Profile) float64 { return p.NumNodes }),
+		relQuery(QNumEdges, "|E|", GroupStructure, CostLight, func(p *Profile) float64 { return p.NumEdges }),
+		relQuery(QTriangles, "Tri", GroupTriangles, CostHeavy, func(p *Profile) float64 { return p.Triangles }),
+		relQuery(QAvgDegree, "d_avg", GroupStructure, CostLight, func(p *Profile) float64 { return p.AvgDegree }),
+		relQuery(QDegreeVariance, "d_var", GroupStructure, CostLight, func(p *Profile) float64 { return p.DegreeVariance }),
+		{
+			ID: QDegreeDistribution, Symbol: "DegDist", Metric: "KL", Group: GroupStructure, Cost: CostLight,
+			Score: func(t, s *Profile) float64 { return metrics.KLDivergence(t.DegreeDist, s.DegreeDist) },
+		},
+		relQuery(QDiameter, "Diam", GroupDistances, CostHeavy, func(p *Profile) float64 { return p.Diameter }),
+		relQuery(QAvgPath, "AvgPath", GroupDistances, CostHeavy, func(p *Profile) float64 { return p.AvgPath }),
+		{
+			ID: QDistanceDistribution, Symbol: "DistDist", Metric: "KL", Group: GroupDistances, Cost: CostHeavy,
+			Score: func(t, s *Profile) float64 { return metrics.KLDivergence(t.DistanceDist, s.DistanceDist) },
+		},
+		relQuery(QGlobalClustering, "GCC", GroupTriangles, CostHeavy, func(p *Profile) float64 { return p.GCC }),
+		relQuery(QAvgClustering, "ACC", GroupTriangles, CostHeavy, func(p *Profile) float64 { return p.ACC }),
+		{
+			ID: QCommunityDetection, Symbol: "CD", Metric: "NMI", HigherBetter: true, Group: GroupCommunity, Cost: CostHeavy,
+			Score: func(t, s *Profile) float64 { return metrics.NMI(t.CommunityLabels, s.CommunityLabels) },
+		},
+		relQuery(QModularity, "Mod", GroupCommunity, CostHeavy, func(p *Profile) float64 { return p.Modularity }),
+		relQuery(QAssortativity, "Ass", GroupStructure, CostLight, func(p *Profile) float64 { return p.Assortativity }),
+		{
+			ID: QEigenvectorCentrality, Symbol: "EVC", Metric: "MAE", Group: GroupCentrality, Cost: CostMedium,
+			Score: func(t, s *Profile) float64 { return metrics.MeanAbsoluteError(t.EVC, s.EVC) },
+		},
+	}
+}
+
+// queryRegistry holds every registered query, indexed by ID (specs[id-1])
+// and by lower-cased symbol.
+type queryRegistry struct {
+	mu       sync.RWMutex
+	specs    []QuerySpec
+	bySymbol map[string]QueryID
+}
+
+var registry = newQueryRegistry()
+
+func newQueryRegistry() *queryRegistry {
+	r := &queryRegistry{bySymbol: make(map[string]QueryID)}
+	for _, s := range builtinQuerySpecs() {
+		r.specs = append(r.specs, s)
+		r.bySymbol[strings.ToLower(s.Symbol)] = s.ID
+	}
+	return r
+}
+
+func (r *queryRegistry) spec(q QueryID) (QuerySpec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if q < 1 || int(q) > len(r.specs) {
+		return QuerySpec{}, false
+	}
+	return r.specs[q-1], true
+}
+
+func (r *queryRegistry) register(s QuerySpec) (QueryID, error) {
+	if strings.TrimSpace(s.Symbol) == "" {
+		return 0, fmt.Errorf("core: query symbol must be non-empty")
+	}
+	if s.Compute == nil {
+		return 0, fmt.Errorf("core: custom query %q needs a Compute function", s.Symbol)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := strings.ToLower(s.Symbol)
+	if _, dup := r.bySymbol[key]; dup {
+		return 0, fmt.Errorf("core: query symbol %q already registered", s.Symbol)
+	}
+	id := QueryID(len(r.specs) + 1)
+	s.ID = id
+	s.Group = GroupCustom
+	if s.Metric == "" {
+		s.Metric = "RE"
+	}
+	if s.Cost == CostLight {
+		// Unknown user code: schedule pessimistically unless told otherwise.
+		s.Cost = CostHeavy
+	}
+	if s.Scalar == nil {
+		s.Scalar = func(p *Profile) (float64, bool) {
+			v, ok := p.Custom[id]
+			return v, ok
+		}
+	}
+	if s.Score == nil {
+		if s.HigherBetter {
+			return 0, fmt.Errorf("core: custom query %q sets HigherBetter but no Score; the default scorer is relative error, which is lower-better", s.Symbol)
+		}
+		s.Score = func(t, sy *Profile) float64 {
+			return metrics.RelativeError(t.Custom[id], sy.Custom[id])
+		}
+	}
+	r.specs = append(r.specs, s)
+	r.bySymbol[key] = id
+	return id, nil
+}
+
+func (r *queryRegistry) all() []QueryID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]QueryID, len(r.specs))
+	for i := range r.specs {
+		out[i] = QueryID(i + 1)
+	}
+	return out
+}
+
+// RegisterQuery adds a caller-defined query to the registry, assigning and
+// returning its QueryID. The query participates in profile computation
+// (its Compute runs as an independent pass on the profile worker pool),
+// in Score, and in any Config.Queries selection. Registration is global
+// and permanent for the process; symbols are case-insensitive and must be
+// unique.
+func RegisterQuery(s QuerySpec) (QueryID, error) {
+	return registry.register(s)
+}
+
+// MustRegisterQuery is RegisterQuery, panicking on error — convenient for
+// package-level registration of custom query suites.
+func MustRegisterQuery(s QuerySpec) QueryID {
+	id, err := RegisterQuery(s)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// QuerySpecOf returns the registered spec for q.
+func QuerySpecOf(q QueryID) (QuerySpec, bool) { return registry.spec(q) }
+
+// String returns the query's registered symbol (the paper's symbol for
+// the built-in fifteen).
 func (q QueryID) String() string {
-	switch q {
-	case QNumNodes:
-		return "|V|"
-	case QNumEdges:
-		return "|E|"
-	case QTriangles:
-		return "Tri"
-	case QAvgDegree:
-		return "d_avg"
-	case QDegreeVariance:
-		return "d_var"
-	case QDegreeDistribution:
-		return "DegDist"
-	case QDiameter:
-		return "Diam"
-	case QAvgPath:
-		return "AvgPath"
-	case QDistanceDistribution:
-		return "DistDist"
-	case QGlobalClustering:
-		return "GCC"
-	case QAvgClustering:
-		return "ACC"
-	case QCommunityDetection:
-		return "CD"
-	case QModularity:
-		return "Mod"
-	case QAssortativity:
-		return "Ass"
-	case QEigenvectorCentrality:
-		return "EVC"
+	if s, ok := registry.spec(q); ok {
+		return s.Symbol
 	}
 	return fmt.Sprintf("Q%d", int(q))
 }
@@ -82,19 +262,22 @@ func (q QueryID) String() string {
 // (§V-D): RE for most, KL for the two distributions, NMI for community
 // detection, MAE for eigenvector centrality.
 func (q QueryID) Metric() string {
-	switch q {
-	case QDegreeDistribution, QDistanceDistribution:
-		return "KL"
-	case QCommunityDetection:
-		return "NMI"
-	case QEigenvectorCentrality:
-		return "MAE"
-	default:
-		return "RE"
+	if s, ok := registry.spec(q); ok {
+		return s.Metric
 	}
+	return "RE"
 }
 
-// AllQueries returns the fifteen query IDs in order.
+// HigherBetter reports whether larger scores are better for the query
+// (true only for NMI-style similarity scores).
+func (q QueryID) HigherBetter() bool {
+	if s, ok := registry.spec(q); ok {
+		return s.HigherBetter
+	}
+	return false
+}
+
+// AllQueries returns the fifteen built-in query IDs in paper order.
 func AllQueries() []QueryID {
 	qs := make([]QueryID, NumQueries)
 	for i := range qs {
@@ -103,119 +286,50 @@ func AllQueries() []QueryID {
 	return qs
 }
 
-// Profile caches every query answer for one graph, so the fifteen-query
-// comparison against a synthetic graph costs one pass per graph.
-type Profile struct {
-	NumNodes        float64
-	NumEdges        float64
-	Triangles       float64
-	AvgDegree       float64
-	DegreeVariance  float64
-	DegreeDist      []float64
-	Diameter        float64
-	AvgPath         float64
-	DistanceDist    []float64
-	GCC             float64
-	ACC             float64
-	CommunityLabels []int
-	Modularity      float64
-	Assortativity   float64
-	EVC             []float64
-}
+// RegisteredQueries returns every registered query ID — the built-in
+// fifteen followed by custom registrations in registration order.
+func RegisteredQueries() []QueryID { return registry.all() }
 
-// ProfileOptions tunes the expensive queries.
-type ProfileOptions struct {
-	// ExactPathLimit is the node count up to which all-pairs BFS is exact;
-	// larger graphs use sampled BFS. Default 2000.
-	ExactPathLimit int
-	// PathSamples is the BFS source sample size for large graphs.
-	// Default 64.
-	PathSamples int
-	// EVCIterations bounds power iteration. Default 60.
-	EVCIterations int
-	// ExactDiameter replaces the sampled diameter lower bound with the
-	// exact iFUB computation on the largest component — used by the
-	// verification appendix, where diameter is compared in absolute
-	// terms rather than relative across algorithms.
-	ExactDiameter bool
-}
-
-func (o ProfileOptions) withDefaults() ProfileOptions {
-	if o.ExactPathLimit <= 0 {
-		o.ExactPathLimit = 2000
+// ParseQueries resolves comma-separable query symbols (case-insensitive,
+// e.g. "CD", "DegDist") to their IDs.
+func ParseQueries(symbols []string) ([]QueryID, error) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]QueryID, 0, len(symbols))
+	for _, sym := range symbols {
+		id, ok := registry.bySymbol[strings.ToLower(strings.TrimSpace(sym))]
+		if !ok {
+			known := make([]string, 0, len(registry.specs))
+			for _, s := range registry.specs {
+				known = append(known, s.Symbol)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("core: unknown query symbol %q (available: %s)", sym, strings.Join(known, ", "))
+		}
+		out = append(out, id)
 	}
-	if o.PathSamples <= 0 {
-		o.PathSamples = 64
-	}
-	if o.EVCIterations <= 0 {
-		o.EVCIterations = 60
-	}
-	return o
-}
-
-// ComputeProfile evaluates all fifteen queries on g.
-func ComputeProfile(g *graph.Graph, opt ProfileOptions, rng *rand.Rand) *Profile {
-	opt = opt.withDefaults()
-	p := &Profile{
-		NumNodes:       stats.NumNodes(g),
-		NumEdges:       stats.NumEdges(g),
-		Triangles:      stats.Triangles(g),
-		AvgDegree:      stats.AvgDegree(g),
-		DegreeVariance: stats.DegreeVariance(g),
-		DegreeDist:     stats.DegreeDistribution(g),
-		GCC:            stats.GlobalClustering(g),
-		ACC:            stats.AvgClustering(g),
-		Assortativity:  stats.Assortativity(g),
-		EVC:            stats.EigenvectorCentrality(g, opt.EVCIterations, 0),
-	}
-	ds := stats.Distances(g, opt.ExactPathLimit, opt.PathSamples, rng)
-	p.Diameter = ds.Diameter
-	p.AvgPath = ds.AvgPath
-	p.DistanceDist = ds.Distribution
-	if opt.ExactDiameter {
-		p.Diameter = float64(stats.ExactDiameter(g, rng))
-	}
-	cd := community.Louvain(g, rng)
-	p.CommunityLabels = cd.Labels
-	p.Modularity = cd.Modularity
-	return p
+	return out, nil
 }
 
 // Score returns the error of the synthetic profile against the true
 // profile for one query, along with whether higher is better (true only
-// for the NMI-scored community detection query).
+// for NMI-style scores such as the community detection query).
 func Score(q QueryID, truth, syn *Profile) (value float64, higherBetter bool) {
-	switch q {
-	case QNumNodes:
-		return metrics.RelativeError(truth.NumNodes, syn.NumNodes), false
-	case QNumEdges:
-		return metrics.RelativeError(truth.NumEdges, syn.NumEdges), false
-	case QTriangles:
-		return metrics.RelativeError(truth.Triangles, syn.Triangles), false
-	case QAvgDegree:
-		return metrics.RelativeError(truth.AvgDegree, syn.AvgDegree), false
-	case QDegreeVariance:
-		return metrics.RelativeError(truth.DegreeVariance, syn.DegreeVariance), false
-	case QDegreeDistribution:
-		return metrics.KLDivergence(truth.DegreeDist, syn.DegreeDist), false
-	case QDiameter:
-		return metrics.RelativeError(truth.Diameter, syn.Diameter), false
-	case QAvgPath:
-		return metrics.RelativeError(truth.AvgPath, syn.AvgPath), false
-	case QDistanceDistribution:
-		return metrics.KLDivergence(truth.DistanceDist, syn.DistanceDist), false
-	case QGlobalClustering:
-		return metrics.RelativeError(truth.GCC, syn.GCC), false
-	case QAvgClustering:
-		return metrics.RelativeError(truth.ACC, syn.ACC), false
-	case QCommunityDetection:
-		return metrics.NMI(truth.CommunityLabels, syn.CommunityLabels), true
-	case QModularity:
-		return metrics.RelativeError(truth.Modularity, syn.Modularity), false
-	case QAssortativity:
-		return metrics.RelativeError(truth.Assortativity, syn.Assortativity), false
-	case QEigenvectorCentrality:
-		return metrics.MeanAbsoluteError(truth.EVC, syn.EVC), false
+	s, ok := registry.spec(q)
+	if !ok {
+		panic(fmt.Sprintf("core: unknown query %d", int(q)))
 	}
-	panic(fmt.Sprintf("core: unknown query %d", int(q)))
+	return s.Score(truth, syn), s.HigherBetter
+}
+
+// ScalarValues returns the raw per-graph values behind a scalar query;
+// ok=false for distribution- or vector-valued queries.
+func ScalarValues(q QueryID, truth, syn *Profile) (truthValue, synValue float64, ok bool) {
+	s, found := registry.spec(q)
+	if !found || s.Scalar == nil {
+		return 0, 0, false
+	}
+	tv, tok := s.Scalar(truth)
+	sv, sok := s.Scalar(syn)
+	return tv, sv, tok && sok
 }

@@ -15,12 +15,17 @@ import (
 
 // Config parameterises a benchmark run. The zero value is completed by
 // withDefaults to the paper's grid: six algorithms, eight datasets, six
-// privacy budgets, ten repetitions, full-size graphs.
+// privacy budgets, the fifteen queries, ten repetitions, full-size graphs.
 type Config struct {
 	Algorithms []string
 	Datasets   []string
 	Epsilons   []float64
-	Reps       int
+	// Queries selects the utility queries evaluated per cell; empty runs
+	// the paper's fifteen. Custom queries added through RegisterQuery may
+	// be included, and profile computation skips the passes unselected
+	// queries would need.
+	Queries []QueryID
+	Reps    int
 	// Scale in (0, 1] shrinks dataset node/edge targets for fast runs.
 	Scale float64
 	Seed  int64
@@ -42,6 +47,9 @@ func (c Config) withDefaults() Config {
 	if len(c.Epsilons) == 0 {
 		c.Epsilons = Epsilons()
 	}
+	if len(c.Queries) == 0 {
+		c.Queries = AllQueries()
+	}
 	if c.Reps <= 0 {
 		c.Reps = 10
 	}
@@ -57,6 +65,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// profileOptions is the per-cell profile configuration: the caller's
+// tuning knobs restricted to the selected queries.
+func (c Config) profileOptions() ProfileOptions {
+	opt := c.Profile
+	opt.Queries = c.Queries
+	return opt
+}
+
 // CellResult is the outcome of one (algorithm, dataset, ε) cell,
 // averaged over repetitions: the per-query error values plus resource
 // measurements.
@@ -64,18 +80,32 @@ type CellResult struct {
 	Algorithm string
 	Dataset   string
 	Epsilon   float64
-	// Errors[q-1] is the mean error for query q (NMI for Q12, where
-	// higher is better; all others lower is better).
-	Errors [NumQueries]float64
-	// StdDev[q-1] is the standard deviation of the error across
+	// Queries lists the evaluated queries in configuration order; Errors
+	// and StdDev are parallel to it.
+	Queries []QueryID
+	// Errors[i] is the mean error for Queries[i] (NMI for the community
+	// detection query, where higher is better; all others lower is better).
+	Errors []float64
+	// StdDev[i] is the standard deviation of the error across
 	// repetitions (0 for single-repetition runs).
-	StdDev [NumQueries]float64
+	StdDev []float64
 	// GenSeconds is the mean wall-clock generation time.
 	GenSeconds float64
 	// GenBytes is the mean heap allocation during generation.
 	GenBytes float64
 	// Err records a generation failure (cell excluded from aggregation).
 	Err error
+}
+
+// ErrorFor returns the mean error recorded for query q; ok=false when the
+// cell did not evaluate q.
+func (c *CellResult) ErrorFor(q QueryID) (value float64, ok bool) {
+	for i, qq := range c.Queries {
+		if qq == q {
+			return c.Errors[i], true
+		}
+	}
+	return 0, false
 }
 
 // Results is the full outcome of a benchmark run.
@@ -86,16 +116,31 @@ type Results struct {
 	DatasetSummaries map[string]datasets.Summary
 }
 
+// Queries returns the query set the run evaluated, in configuration order.
+func (r *Results) Queries() []QueryID {
+	if len(r.Config.Queries) > 0 {
+		return r.Config.Queries
+	}
+	return AllQueries()
+}
+
 // Run executes the benchmark grid. Dataset graphs and their true profiles
-// are computed once; cells run in parallel.
+// are computed once (and memoized across runs via the profile cache);
+// cells run in parallel.
 func Run(cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
+	for _, q := range cfg.Queries {
+		if _, ok := registry.spec(q); !ok {
+			return nil, fmt.Errorf("core: unknown query id %d in config", int(q))
+		}
+	}
 
 	type dsEntry struct {
 		spec    datasets.Spec
 		g       *graph.Graph
 		profile *Profile
 	}
+	popt := cfg.profileOptions()
 	dss := make(map[string]*dsEntry, len(cfg.Datasets))
 	summaries := make(map[string]datasets.Summary, len(cfg.Datasets))
 	for _, name := range cfg.Datasets {
@@ -104,8 +149,7 @@ func Run(cfg Config) (*Results, error) {
 			return nil, err
 		}
 		g := spec.Load(cfg.Scale, cfg.Seed)
-		rng := rand.New(rand.NewSource(cfg.Seed + 1))
-		prof := ComputeProfile(g, cfg.Profile, rng)
+		prof := ComputeProfileCached(g, popt, cfg.Seed+1)
 		dss[name] = &dsEntry{spec: spec, g: g, profile: prof}
 		summaries[name] = datasets.Summarize(spec, g)
 		if cfg.Progress != nil {
@@ -158,27 +202,40 @@ func Run(cfg Config) (*Results, error) {
 
 // runCell generates Reps synthetic graphs and averages the query errors.
 func runCell(cfg Config, algName, dsName string, g *graph.Graph, truth *Profile, eps float64) CellResult {
-	res := CellResult{Algorithm: algName, Dataset: dsName, Epsilon: eps}
+	nq := len(cfg.Queries)
+	res := CellResult{
+		Algorithm: algName,
+		Dataset:   dsName,
+		Epsilon:   eps,
+		Queries:   append([]QueryID(nil), cfg.Queries...),
+		Errors:    make([]float64, nq),
+		StdDev:    make([]float64, nq),
+	}
 	generator, err := NewAlgorithm(algName)
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	popt := cfg.profileOptions()
 	seed := cfg.Seed ^ hashCell(algName, dsName, eps)
-	var sumErr, sumSq [NumQueries]float64
+	sumErr := make([]float64, nq)
+	sumSq := make([]float64, nq)
 	var sumSec, sumBytes float64
 	for rep := 0; rep < cfg.Reps; rep++ {
-		rng := rand.New(rand.NewSource(seed + int64(rep)*7919))
+		repSeed := seed + int64(rep)*7919
+		rng := rand.New(rand.NewSource(repSeed))
 		sec, bytes, syn, gerr := MeasureGenerate(generator, g, eps, rng)
 		if gerr != nil {
 			res.Err = gerr
 			return res
 		}
-		synProf := ComputeProfile(syn, cfg.Profile, rng)
-		for _, q := range AllQueries() {
+		// The synthetic profile gets its own derived seed so its RNG
+		// streams are independent of how much the generator consumed.
+		synProf := ComputeProfileSeeded(syn, popt, SubSeed(repSeed, 1))
+		for i, q := range cfg.Queries {
 			v, _ := Score(q, truth, synProf)
-			sumErr[q-1] += v
-			sumSq[q-1] += v * v
+			sumErr[i] += v
+			sumSq[i] += v * v
 		}
 		sumSec += sec
 		sumBytes += bytes

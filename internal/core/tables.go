@@ -20,7 +20,7 @@ func (r *Results) BestCounts7() map[float64]map[string]map[string]int {
 			for _, alg := range r.Config.Algorithms {
 				counts[alg] = 0
 			}
-			for _, q := range AllQueries() {
+			for _, q := range r.Queries() {
 				for _, w := range r.winners(index, ds, eps, q) {
 					counts[w]++
 				}
@@ -37,7 +37,7 @@ func (r *Results) BestCounts7() map[float64]map[string]map[string]int {
 func (r *Results) BestCounts12() map[QueryID]map[string]int {
 	out := make(map[QueryID]map[string]int)
 	index := r.index()
-	for _, q := range AllQueries() {
+	for _, q := range r.Queries() {
 		counts := make(map[string]int)
 		for _, alg := range r.Config.Algorithms {
 			counts[alg] = 0
@@ -74,7 +74,7 @@ func (r *Results) index() cellIndex {
 // whose published rows sum to more than 15 when several algorithms hit
 // zero error on the same query (e.g. |V| in Table XII).
 func (r *Results) winners(idx cellIndex, ds string, eps float64, q QueryID) []string {
-	higherBetter := q == QCommunityDetection
+	higherBetter := q.HigherBetter()
 	bestVal := math.Inf(1)
 	if higherBetter {
 		bestVal = math.Inf(-1)
@@ -85,8 +85,8 @@ func (r *Results) winners(idx cellIndex, ds string, eps float64, q QueryID) []st
 		if !ok || c.Err != nil {
 			continue
 		}
-		v := c.Errors[q-1]
-		if math.IsNaN(v) {
+		v, evaluated := c.ErrorFor(q)
+		if !evaluated || math.IsNaN(v) {
 			continue
 		}
 		switch {
@@ -107,7 +107,7 @@ func (r *Results) winners(idx cellIndex, ds string, eps float64, q QueryID) []st
 func (r *Results) FormatTable7() string {
 	counts := r.BestCounts7()
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Table VII — best-performance counts (out of %d queries)\n", NumQueries)
+	fmt.Fprintf(&sb, "Table VII — best-performance counts (out of %d queries)\n", len(r.Queries()))
 	header := fmt.Sprintf("%-5s %-10s", "eps", "Algorithm")
 	for _, ds := range r.Config.Datasets {
 		header += fmt.Sprintf(" %9s", ds)
@@ -154,12 +154,12 @@ func (r *Results) FormatTable12() string {
 	cases := len(r.Config.Datasets) * len(r.Config.Epsilons)
 	fmt.Fprintf(&sb, "Table XII — per-query best counts (out of %d cases)\n", cases)
 	fmt.Fprintf(&sb, "%-10s", "Algorithm")
-	for _, q := range AllQueries() {
+	for _, q := range r.Queries() {
 		fmt.Fprintf(&sb, " %8s", q.String())
 	}
 	sb.WriteByte('\n')
 	colMax := make(map[QueryID]int)
-	for _, q := range AllQueries() {
+	for _, q := range r.Queries() {
 		for _, alg := range r.Config.Algorithms {
 			if c := counts[q][alg]; c > colMax[q] {
 				colMax[q] = c
@@ -168,7 +168,7 @@ func (r *Results) FormatTable12() string {
 	}
 	for _, alg := range r.Config.Algorithms {
 		fmt.Fprintf(&sb, "%-10s", alg)
-		for _, q := range AllQueries() {
+		for _, q := range r.Queries() {
 			c := counts[q][alg]
 			mark := " "
 			if c == colMax[q] && c > 0 {
@@ -290,7 +290,12 @@ func (r *Results) FormatFig2() string {
 						fmt.Fprintf(&sb, " %9s", "-")
 						continue
 					}
-					fmt.Fprintf(&sb, " %9.4f", c.Errors[q-1])
+					v, evaluated := c.ErrorFor(q)
+					if !evaluated {
+						fmt.Fprintf(&sb, " %9s", "-")
+						continue
+					}
+					fmt.Fprintf(&sb, " %9.4f", v)
 				}
 				sb.WriteByte('\n')
 			}

@@ -38,7 +38,7 @@ func (r *Results) FormatTypeAnalysis() string {
 			counts[tp] = map[string]int{}
 		}
 		for _, eps := range r.Config.Epsilons {
-			for _, q := range AllQueries() {
+			for _, q := range r.Queries() {
 				for _, w := range r.winners(idx, ds, eps, q) {
 					counts[tp][w]++
 				}

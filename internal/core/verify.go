@@ -6,7 +6,6 @@ import (
 	"sort"
 	"strings"
 
-	"pgb/internal/community"
 	"pgb/internal/datasets"
 	"pgb/internal/graph"
 	"pgb/internal/metrics"
@@ -19,8 +18,7 @@ import (
 func VerifyDPdK(scale float64, reps int, seed int64) (string, error) {
 	spec := datasets.CaGrQC()
 	g := spec.Load(scale, seed)
-	rng := rand.New(rand.NewSource(seed + 1))
-	truth := verificationRow(g, rng)
+	truth := verificationRow(g, seed+1, true)
 	alg, err := NewAlgorithm("DP-dK")
 	if err != nil {
 		return "", err
@@ -30,12 +28,13 @@ func VerifyDPdK(scale float64, reps int, seed int64) (string, error) {
 	for i, eps := range epsList {
 		acc := map[string]float64{}
 		for rep := 0; rep < reps; rep++ {
-			r2 := rand.New(rand.NewSource(seed + int64(i*1000+rep)))
+			genSeed := seed + int64(i*1000+rep)
+			r2 := rand.New(rand.NewSource(genSeed))
 			syn, err := alg.Generate(g, eps, r2)
 			if err != nil {
 				return "", err
 			}
-			row := verificationRow(syn, r2)
+			row := verificationRow(syn, SubSeed(genSeed, 1), false)
 			for k, v := range row {
 				acc[k] += v
 			}
@@ -66,21 +65,31 @@ func verificationQueries() []string {
 	return []string{"|V|", "|E|", "d_avg", "Ass", "ACC", "Diam", "Tri", "GCC", "Mod"}
 }
 
-func verificationRow(g *graph.Graph, rng *rand.Rand) map[string]float64 {
-	ds := stats.Distances(g, 2000, 64, rng)
-	ds.Diameter = float64(stats.ExactDiameter(g, rng)) // Table XI compares absolute diameters
-	cd := community.Louvain(g, rng)
-	return map[string]float64{
-		"|V|":   stats.NumNodes(g),
-		"|E|":   stats.NumEdges(g),
-		"d_avg": stats.AvgDegree(g),
-		"Ass":   stats.Assortativity(g),
-		"ACC":   stats.AvgClustering(g),
-		"Diam":  ds.Diameter,
-		"Tri":   stats.Triangles(g),
-		"GCC":   stats.GlobalClustering(g),
-		"Mod":   cd.Modularity,
+// verificationRow answers the appendix's query subset through the
+// registry: one profile computation restricted to the needed passes,
+// scalars extracted per spec. Table XI compares absolute diameters, so
+// the profile uses the exact iFUB diameter. The truth graph's profile is
+// cached; synthetic one-shot graphs skip the cache.
+func verificationRow(g *graph.Graph, seed int64, cache bool) map[string]float64 {
+	qs, err := ParseQueries(verificationQueries())
+	if err != nil {
+		panic(err) // verification symbols are built-ins; unreachable
 	}
+	opt := ProfileOptions{ExactDiameter: true, Queries: qs}
+	var prof *Profile
+	if cache {
+		prof = ComputeProfileCached(g, opt, seed)
+	} else {
+		prof = ComputeProfileSeeded(g, opt, seed)
+	}
+	row := make(map[string]float64, len(qs))
+	for _, q := range qs {
+		spec, _ := QuerySpecOf(q)
+		if v, ok := spec.Scalar(prof); ok {
+			row[spec.Symbol] = v
+		}
+	}
+	return row
 }
 
 // VerifyTmF reproduces Figs. 3 and 4: TmF on (simulated) Facebook across
@@ -226,8 +235,7 @@ func maxLen(a, b []int) int {
 // prints the error series for the given queries.
 func verifySeries(algName string, spec datasets.Spec, scale float64, reps int, seed int64, title string, queries []QueryID) (string, error) {
 	g := spec.Load(scale, seed)
-	rng := rand.New(rand.NewSource(seed + 1))
-	truth := ComputeProfile(g, ProfileOptions{}, rng)
+	truth := ComputeProfileCached(g, ProfileOptions{Queries: queries}, seed+1)
 	alg, err := NewAlgorithm(algName)
 	if err != nil {
 		return "", err
@@ -244,12 +252,13 @@ func verifySeries(algName string, spec datasets.Spec, scale float64, reps int, s
 		for _, e := range Epsilons() {
 			sum := 0.0
 			for rep := 0; rep < reps; rep++ {
-				r2 := rand.New(rand.NewSource(seed + int64(rep)*31 + int64(e*100)))
+				genSeed := seed + int64(rep)*31 + int64(e*100)
+				r2 := rand.New(rand.NewSource(genSeed))
 				syn, err := alg.Generate(g, e, r2)
 				if err != nil {
 					return "", err
 				}
-				prof := ComputeProfile(syn, ProfileOptions{}, r2)
+				prof := ComputeProfileSeeded(syn, ProfileOptions{Queries: queries}, SubSeed(genSeed, 1))
 				v, _ := Score(q, truth, prof)
 				sum += v
 			}
@@ -267,11 +276,11 @@ func Fig7(scale float64, reps int, seed int64) (string, error) {
 	var sb strings.Builder
 	sb.WriteString("Fig. 7 — DER vs TmF vs PrivGraph\n")
 	algs := []string{"TmF", "PrivGraph", "DER"}
+	fig7Queries := []QueryID{QAvgClustering, QDiameter}
 	for _, spec := range []datasets.Spec{datasets.Facebook(), datasets.WikiVote()} {
 		g := spec.Load(scale, seed)
-		rng := rand.New(rand.NewSource(seed + 1))
-		truth := ComputeProfile(g, ProfileOptions{}, rng)
-		for _, q := range []QueryID{QAvgClustering, QDiameter} {
+		truth := ComputeProfileCached(g, ProfileOptions{Queries: fig7Queries}, seed+1)
+		for _, q := range fig7Queries {
 			fmt.Fprintf(&sb, "\n[%s (RE) on %s]\n%-10s", q.String(), spec.Name, "eps:")
 			for _, e := range Epsilons() {
 				fmt.Fprintf(&sb, " %9g", e)
@@ -287,12 +296,13 @@ func Fig7(scale float64, reps int, seed int64) (string, error) {
 					sum := 0.0
 					ok := 0
 					for rep := 0; rep < reps; rep++ {
-						r2 := rand.New(rand.NewSource(seed + int64(rep)*37 + int64(e*100)))
+						genSeed := seed + int64(rep)*37 + int64(e*100)
+						r2 := rand.New(rand.NewSource(genSeed))
 						syn, err := alg.Generate(g, e, r2)
 						if err != nil {
 							continue
 						}
-						prof := ComputeProfile(syn, ProfileOptions{}, r2)
+						prof := ComputeProfileSeeded(syn, ProfileOptions{Queries: fig7Queries}, SubSeed(genSeed, 1))
 						v, _ := Score(q, truth, prof)
 						sum += v
 						ok++

@@ -1,0 +1,32 @@
+package graph
+
+// Fingerprint returns a 64-bit FNV-1a hash over the graph's exact
+// structure: the node count, edge count, and every edge in canonical
+// orientation. Two graphs with identical adjacency always hash equally,
+// so the value serves as a memoization key for derived quantities (e.g.
+// cached query profiles). It is not cryptographic; collisions are
+// possible but vanishingly unlikely within one benchmark run.
+func (g *Graph) Fingerprint() uint64 {
+	const (
+		offset64 = 1469598103934665603
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(g.n))
+	mix(uint64(g.m))
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if int32(u) < v {
+				mix(uint64(uint32(u))<<32 | uint64(uint32(v)))
+			}
+		}
+	}
+	return h
+}

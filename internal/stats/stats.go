@@ -239,18 +239,33 @@ func bfsDistances(g *graph.Graph, sources []int32) DistanceStats {
 	return st
 }
 
-// GlobalClustering is query Q10: 3*triangles / number of connected triples
-// (wedges), a.k.a. transitivity.
-func GlobalClustering(g *graph.Graph) float64 {
+// Wedges counts the connected triples (paths of length two) — the
+// denominator of the global clustering coefficient. Exposed separately so
+// callers that already hold the triangle count can form GCC without a
+// second O(m^{3/2}) triangle pass.
+func Wedges(g *graph.Graph) float64 {
 	wedges := 0.0
 	for u := 0; u < g.N(); u++ {
 		d := float64(g.Degree(int32(u)))
 		wedges += d * (d - 1) / 2
 	}
+	return wedges
+}
+
+// GlobalClusteringFrom forms the transitivity 3*triangles/wedges from
+// already-computed counts — the single definition of the GCC formula,
+// shared by GlobalClustering and callers that batch the triangle pass.
+func GlobalClusteringFrom(triangles, wedges float64) float64 {
 	if wedges == 0 {
 		return 0
 	}
-	return 3 * Triangles(g) / wedges
+	return 3 * triangles / wedges
+}
+
+// GlobalClustering is query Q10: 3*triangles / number of connected triples
+// (wedges), a.k.a. transitivity.
+func GlobalClustering(g *graph.Graph) float64 {
+	return GlobalClusteringFrom(Triangles(g), Wedges(g))
 }
 
 // LocalClustering returns the per-node clustering coefficient C_i =

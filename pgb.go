@@ -19,6 +19,22 @@
 //
 // The full benchmark grid (Tables VII, IX, X, XII and Fig. 2) is driven
 // by RunBenchmark, or from the command line via cmd/pgb.
+//
+// The query axis U is extensible: RegisterQuery adds a caller-defined
+// query that participates in Compare, the benchmark grid, and every
+// formatter exactly like the built-in fifteen:
+//
+//	maxDeg, _ := pgb.RegisterQuery(pgb.CustomQuery{
+//		Symbol:  "MaxDeg",
+//		Compute: func(g *pgb.Graph, _ *rand.Rand) float64 { return float64(g.MaxDegree()) },
+//	})
+//	report := pgb.CompareQueries(g, syn, 7, []pgb.QueryID{maxDeg})
+//
+// BenchmarkConfig.Queries restricts a grid run to a query subset (the
+// cmd/pgb -queries flag exposes the same selection); profile computation
+// skips the passes unselected queries would need, and the independent
+// passes of a profile run concurrently with deterministic per-pass RNG
+// streams.
 package pgb
 
 import (
@@ -112,48 +128,96 @@ func (r QueryReport) String() string {
 }
 
 // Compare evaluates all fifteen queries on both graphs and scores the
-// synthetic graph with the paper's metric per query.
+// synthetic graph with the paper's metric per query. The two profiles are
+// computed from independent deterministic sub-seeds of seed, so the
+// sampled-BFS distance queries (and every other randomised pass) see
+// unbiased, repetition-independent RNG streams for each graph; the truth
+// profile is memoized, so repeated comparisons against the same baseline
+// graph only pay for the synthetic side.
 func Compare(truth, syn *Graph, seed int64) QueryReport {
-	rng := rand.New(rand.NewSource(seed))
-	pt := core.ComputeProfile(truth, core.ProfileOptions{}, rng)
-	ps := core.ComputeProfile(syn, core.ProfileOptions{}, rng)
+	return CompareQueries(truth, syn, seed, nil)
+}
+
+// CompareQueries is Compare restricted to a query subset; nil evaluates
+// the built-in fifteen. Custom queries from RegisterQuery are accepted.
+func CompareQueries(truth, syn *Graph, seed int64, queries []QueryID) QueryReport {
+	if queries == nil {
+		queries = core.AllQueries()
+	}
+	opt := core.ProfileOptions{Queries: queries}
+	pt := core.ComputeProfileCached(truth, opt, core.SubSeed(seed, 0))
+	ps := core.ComputeProfileSeeded(syn, opt, core.SubSeed(seed, 1))
 	var rep QueryReport
-	for _, q := range core.AllQueries() {
+	for _, q := range queries {
 		v, higher := core.Score(q, pt, ps)
 		row := QueryRow{Query: q.String(), Metric: q.Metric(), Error: v, HigherBetter: higher}
-		row.TrueValue, row.SynValue = scalarValues(q, pt, ps)
+		row.TrueValue, row.SynValue, _ = core.ScalarValues(q, pt, ps)
 		rep.Rows = append(rep.Rows, row)
 	}
 	return rep
 }
 
-func scalarValues(q core.QueryID, t, s *core.Profile) (float64, float64) {
-	switch q {
-	case core.QNumNodes:
-		return t.NumNodes, s.NumNodes
-	case core.QNumEdges:
-		return t.NumEdges, s.NumEdges
-	case core.QTriangles:
-		return t.Triangles, s.Triangles
-	case core.QAvgDegree:
-		return t.AvgDegree, s.AvgDegree
-	case core.QDegreeVariance:
-		return t.DegreeVariance, s.DegreeVariance
-	case core.QDiameter:
-		return t.Diameter, s.Diameter
-	case core.QAvgPath:
-		return t.AvgPath, s.AvgPath
-	case core.QGlobalClustering:
-		return t.GCC, s.GCC
-	case core.QAvgClustering:
-		return t.ACC, s.ACC
-	case core.QModularity:
-		return t.Modularity, s.Modularity
-	case core.QAssortativity:
-		return t.Assortativity, s.Assortativity
-	default:
-		return 0, 0
+// QueryID identifies a benchmark query: 1..15 are the paper's fifteen,
+// higher IDs come from RegisterQuery.
+type QueryID = core.QueryID
+
+// CustomQuery describes a caller-defined graph query for RegisterQuery.
+type CustomQuery struct {
+	// Symbol is the short display name, e.g. "MaxDeg". Case-insensitively
+	// unique across all registered queries.
+	Symbol string
+	// Metric labels the error metric in reports; empty defaults to "RE".
+	Metric string
+	// HigherBetter marks similarity-style scores where larger is better
+	// (like the built-in NMI community query); it controls how best-count
+	// tables rank algorithms on this query. Requires a custom Score —
+	// the default relative-error scorer is lower-better.
+	HigherBetter bool
+	// Compute answers the query on one graph. rng is a deterministic
+	// stream derived from the comparison seed; use it for any sampling so
+	// results stay reproducible.
+	Compute func(g *Graph, rng *rand.Rand) float64
+	// Score compares the two answers; nil defaults to relative error
+	// |syn-truth| / |truth| (lower is better).
+	Score func(truthValue, synValue float64) float64
+}
+
+// RegisterQuery adds a custom query to the global registry and returns
+// its QueryID for use in CompareQueries, BenchmarkConfig.Queries, and the
+// cmd/pgb -queries flag (by symbol). Registration is process-wide and
+// permanent; it is typically done from an init function or main.
+func RegisterQuery(q CustomQuery) (QueryID, error) {
+	if q.Compute == nil {
+		return 0, fmt.Errorf("pgb: RegisterQuery needs a Compute function")
 	}
+	spec := core.QuerySpec{
+		Symbol:       q.Symbol,
+		Metric:       q.Metric,
+		HigherBetter: q.HigherBetter,
+		Compute: func(g *Graph, _ core.ProfileOptions, rng *rand.Rand) float64 {
+			return q.Compute(g, rng)
+		},
+	}
+	var id QueryID // assigned below, before any scoring can run
+	if q.Score != nil {
+		score := q.Score
+		spec.Score = func(t, s *core.Profile) float64 {
+			return score(t.Custom[id], s.Custom[id])
+		}
+	}
+	id, err := core.RegisterQuery(spec)
+	return id, err
+}
+
+// Queries returns the symbols of every registered query — the paper's
+// fifteen followed by custom registrations.
+func Queries() []string {
+	ids := core.RegisteredQueries()
+	out := make([]string, len(ids))
+	for i, q := range ids {
+		out[i] = q.String()
+	}
+	return out
 }
 
 // BenchmarkConfig parameterises RunBenchmark; the zero value runs the

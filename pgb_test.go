@@ -1,6 +1,7 @@
 package pgb_test
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -67,6 +68,82 @@ func TestNewGraphFromEdges(t *testing.T) {
 	}
 	if syn.N() != 3 {
 		t.Fatal("custom graph not accepted by Generate")
+	}
+}
+
+func TestRegisterQueryAndCompareQueries(t *testing.T) {
+	id, err := pgb.RegisterQuery(pgb.CustomQuery{
+		Symbol:  "PubMaxDeg",
+		Compute: func(g *pgb.Graph, _ *rand.Rand) float64 { return float64(g.MaxDegree()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pgb.RegisterQuery(pgb.CustomQuery{Symbol: "NoCompute"}); err == nil {
+		t.Fatal("RegisterQuery accepted a query without Compute")
+	}
+	found := false
+	for _, sym := range pgb.Queries() {
+		if sym == "PubMaxDeg" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Queries() missing registered symbol: %v", pgb.Queries())
+	}
+
+	g, err := pgb.LoadDataset("BA", 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := pgb.Generate("DGG", g, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := pgb.CompareQueries(g, syn, 7, []pgb.QueryID{id})
+	if len(rep.Rows) != 1 || rep.Rows[0].Query != "PubMaxDeg" {
+		t.Fatalf("custom-query report: %+v", rep.Rows)
+	}
+	if rep.Rows[0].TrueValue != float64(g.MaxDegree()) {
+		t.Fatalf("TrueValue = %g, want %d", rep.Rows[0].TrueValue, g.MaxDegree())
+	}
+
+	// Similarity-style custom queries must carry HigherBetter through to
+	// reports (and so to best-count rankings).
+	simID, err := pgb.RegisterQuery(pgb.CustomQuery{
+		Symbol:       "PubSim",
+		Metric:       "SIM",
+		HigherBetter: true,
+		Compute:      func(g *pgb.Graph, _ *rand.Rand) float64 { return float64(g.M()) },
+		Score: func(truth, syn float64) float64 {
+			if truth == 0 {
+				return 0
+			}
+			return syn / truth
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row := pgb.CompareQueries(g, syn, 7, []pgb.QueryID{simID}).Rows[0]; !row.HigherBetter || row.Metric != "SIM" {
+		t.Fatalf("higher-better custom query row: %+v", row)
+	}
+	if _, err := pgb.RegisterQuery(pgb.CustomQuery{
+		Symbol:       "PubSimBad",
+		HigherBetter: true,
+		Compute:      func(g *pgb.Graph, _ *rand.Rand) float64 { return 0 },
+	}); err == nil {
+		t.Fatal("HigherBetter without Score accepted")
+	}
+
+	// Compare must be deterministic in seed (independent sub-seeded
+	// profiles, memoized truth side).
+	a := pgb.Compare(g, syn, 7)
+	b := pgb.Compare(g, syn, 7)
+	for i := range a.Rows {
+		if a.Rows[i].Error != b.Rows[i].Error {
+			t.Fatalf("Compare not deterministic at row %d", i)
+		}
 	}
 }
 
