@@ -3,13 +3,14 @@
 //
 //	go test -bench=. -benchmem
 //
-// Mapping (see DESIGN.md §6 and EXPERIMENTS.md):
+// Mapping (see DESIGN.md §6):
 //
 //	BenchmarkTable7Grid        — Table VII / Table XII grid cells
 //	BenchmarkAlgorithms/*      — Table IX (time) and Table X (-benchmem)
 //	BenchmarkFig2Cells/*       — Fig. 2 error series cells
 //	BenchmarkQueries/*         — query-evaluation cost (harness overhead)
 //	BenchmarkComputeProfile/*  — serial vs parallel profile on a 6k-node graph
+//	BenchmarkRunGrid/*         — whole-grid serial vs parallel scheduling
 //	BenchmarkTmFFilterAblation — TmF high-pass filter vs naive matrix
 //	BenchmarkDPdKSensitivity   — smooth vs global sensitivity (DP-dK)
 //	BenchmarkDGGConstruction   — BTER vs Chung-Lu construction (DGG)
@@ -143,6 +144,36 @@ func BenchmarkComputeProfile(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				core.ComputeProfileSeeded(g, mode.opt, int64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkRunGrid measures a whole benchmark grid — 2 algorithms × 3
+// datasets × 3 budgets — executed serially versus on the scheduler's
+// worker pool, the grid-level speedup on top of the per-profile one.
+// Cell values are identical in both modes; only the schedule differs.
+func BenchmarkRunGrid(b *testing.B) {
+	grid := func(workers int) pgb.BenchmarkConfig {
+		return pgb.BenchmarkConfig{
+			Algorithms: []string{"TmF", "DGG"},
+			Datasets:   []string{"Minnesota", "Facebook", "ER"},
+			Epsilons:   []float64{0.5, 1, 5},
+			Reps:       1,
+			Scale:      benchScale,
+			Seed:       23,
+			Workers:    workers,
+		}
+	}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pgb.RunBenchmark(grid(mode.workers)); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -14,7 +14,9 @@
 //
 // Common flags: -scale (dataset size factor, default 0.1), -reps
 // (repetitions per cell, default 3), -seed, -eps (comma list), -algs,
-// -datasets, -queries (comma lists), -v (progress to stderr).
+// -datasets, -queries (comma lists), -jobs (concurrent grid cells),
+// -checkpoint FILE (durable JSONL run manifest), -resume FILE (continue
+// an interrupted checkpointed run), -v (progress to stderr).
 package main
 
 import (
@@ -95,7 +97,11 @@ commands:
   stability   per-algorithm repeatability (coefficient of variation)
   types       best counts aggregated by graph domain (Table II taxonomy)
   recommend   mechanism selection guidelines for a scenario
-              (-nodes N -acc A -eps E [-queries CD,Mod] [-measured])`)
+              (-nodes N -acc A -eps E [-queries CD,Mod] [-measured])
+
+grid commands accept -jobs N (parallel cells), -checkpoint FILE (durable
+JSONL run manifest; rerun with the same path to resume) and -resume FILE
+(continue an interrupted run, restoring its configuration).`)
 }
 
 type gridFlags struct {
@@ -108,12 +114,14 @@ type gridFlags struct {
 	dsStr      *string
 	queriesStr *string
 	verbose    *bool
-	parallel   *int
+	jobs       *int
+	checkpoint *string
+	resume     *string
 }
 
 func newGridFlags(name string) *gridFlags {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
-	return &gridFlags{
+	g := &gridFlags{
 		fs:         fs,
 		scale:      fs.Float64("scale", 0.1, "dataset size factor in (0,1]; 1 = paper sizes"),
 		reps:       fs.Int("reps", 3, "repetitions per cell (paper: 10)"),
@@ -123,16 +131,37 @@ func newGridFlags(name string) *gridFlags {
 		dsStr:      fs.String("datasets", "", "comma-separated dataset subset"),
 		queriesStr: fs.String("queries", "", "comma-separated query symbols to evaluate, e.g. CD,Mod,DegDist (default: all fifteen)"),
 		verbose:    fs.Bool("v", false, "print per-cell progress to stderr"),
-		parallel:   fs.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS)"),
+		jobs:       fs.Int("jobs", 0, "max concurrent grid cells (0 = GOMAXPROCS); results are identical at any -jobs"),
+		checkpoint: fs.String("checkpoint", "", "stream finished cells to this JSONL run manifest; rerunning with the same path resumes an interrupted run"),
+		resume:     fs.String("resume", "", "resume from this run manifest, restoring its whole grid configuration (other grid flags are ignored)"),
 	}
+	fs.IntVar(g.jobs, "parallel", 0, "deprecated alias for -jobs")
+	return g
 }
 
+// config builds the run configuration from the flags. With -resume the
+// configuration comes from the manifest instead, and only -v and -jobs
+// still apply.
 func (g *gridFlags) config() (core.Config, error) {
+	if *g.resume != "" {
+		cfg, err := core.CheckpointConfig(*g.resume)
+		if err != nil {
+			return core.Config{}, err
+		}
+		if *g.jobs > 0 {
+			cfg.Workers = *g.jobs
+		}
+		if *g.verbose {
+			cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		}
+		return cfg, nil
+	}
 	cfg := core.Config{
-		Scale:       *g.scale,
-		Reps:        *g.reps,
-		Seed:        *g.seed,
-		Parallelism: *g.parallel,
+		Scale:          *g.scale,
+		Reps:           *g.reps,
+		Seed:           *g.seed,
+		Workers:        *g.jobs,
+		CheckpointPath: *g.checkpoint,
 	}
 	if *g.epsStr != "" {
 		for _, tok := range strings.Split(*g.epsStr, ",") {
@@ -199,7 +228,15 @@ func cmdGrid(which string, args []string) error {
 		return err
 	}
 	if which == "memory" {
-		cfg.Parallelism = 1 // allocation measurement needs isolation
+		// Allocation measurement needs isolation: GenBytes deltas taken
+		// while other cells run in the same process are inflated. A
+		// checkpointed manifest may hold cells measured under
+		// parallelism (the digest deliberately ignores Workers), so
+		// restoring them here would silently corrupt Table X.
+		if *gf.resume != "" || *gf.checkpoint != "" {
+			return fmt.Errorf("memory measures allocations in isolation; -checkpoint/-resume are not supported")
+		}
+		cfg.Workers = 1
 	}
 	res, err := core.Run(cfg)
 	if err != nil {

@@ -1,0 +1,129 @@
+package pgb_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocLinks fails on broken intra-repo markdown links — the CI docs
+// job. Every `[text](target)` in every tracked .md file must point at a
+// file that exists; a `#fragment` must match a heading in the target
+// (GitHub anchor slugs). External URLs are not fetched.
+func TestDocLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) < 5 {
+		t.Fatalf("found only %d markdown files — walker broken?", len(mdFiles))
+	}
+
+	linkRe := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, md := range mdFiles {
+		raw, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(stripCodeBlocks(string(raw)), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			resolved := md
+			if file != "" {
+				resolved = filepath.Join(filepath.Dir(md), file)
+				info, err := os.Stat(resolved)
+				if err != nil {
+					t.Errorf("%s: broken link %q (%v)", md, target, err)
+					continue
+				}
+				if info.IsDir() || frag == "" {
+					continue
+				}
+			}
+			if frag != "" && !hasAnchor(t, resolved, frag) {
+				t.Errorf("%s: link %q: no heading matches anchor #%s", md, target, frag)
+			}
+		}
+	}
+}
+
+// stripCodeBlocks removes fenced code blocks, where ](...) sequences are
+// code, not links.
+func stripCodeBlocks(s string) string {
+	var out strings.Builder
+	inFence := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			out.WriteString(line)
+			out.WriteByte('\n')
+		}
+	}
+	return out.String()
+}
+
+// hasAnchor reports whether a markdown file has a heading whose GitHub
+// anchor slug equals frag.
+func hasAnchor(t *testing.T, path, frag string) bool {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Errorf("reading %s: %v", path, err)
+		return true
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(line, "#")
+		if heading == line || !strings.HasPrefix(heading, " ") {
+			continue // not a heading (e.g. #!/bin/sh in text)
+		}
+		if headingSlug(heading) == strings.ToLower(frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// headingSlug mimics GitHub's heading→anchor transformation: lowercase,
+// spaces to hyphens, punctuation dropped.
+func headingSlug(h string) string {
+	h = strings.ToLower(strings.TrimSpace(h))
+	var sb strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r > 127:
+			sb.WriteRune(r)
+		case r == ' ':
+			sb.WriteByte('-')
+		case r == '-' || r == '_':
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

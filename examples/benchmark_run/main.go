@@ -3,6 +3,11 @@
 // configuration keeps the demo under a minute; raise Scale/Reps toward
 // 1/10 to reproduce the paper's 43,200-experiment grid.
 //
+// The run is checkpointed: every finished cell streams to a JSONL
+// manifest, so interrupting the program (Ctrl-C) and rerunning it
+// resumes where it stopped instead of starting over (pgb.Resume is the
+// one-call form). Cell values are identical at any Workers setting.
+//
 //	go run ./examples/benchmark_run
 package main
 
@@ -10,11 +15,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"pgb"
 )
 
 func main() {
+	manifest := filepath.Join(os.TempDir(), "pgb-example-run.jsonl")
 	cfg := pgb.BenchmarkConfig{
 		// a representative slice: all six mechanisms, three contrasting
 		// datasets (road mesh / social / random), three budgets
@@ -23,9 +31,21 @@ func main() {
 		Reps:     2,
 		Scale:    0.08,
 		Seed:     42,
-		Progress: func(line string) { fmt.Fprintln(os.Stderr, line) },
+		// grid cells run on a worker pool; 0 = one worker per CPU
+		Workers: 0,
+		// durable run manifest — rerunning after an interrupt resumes
+		CheckpointPath: manifest,
+		Progress:       func(line string) { fmt.Fprintln(os.Stderr, line) },
 	}
+	fmt.Fprintf(os.Stderr, "checkpointing to %s\n", manifest)
 	res, err := pgb.RunBenchmark(cfg)
+	if err != nil && strings.Contains(err.Error(), "different run configuration") {
+		// A stale manifest from an earlier run with other settings (say,
+		// after raising Scale/Reps above): discard it and start fresh.
+		fmt.Fprintln(os.Stderr, "stale checkpoint from a different configuration; starting over")
+		os.Remove(manifest)
+		res, err = pgb.RunBenchmark(cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -209,7 +209,7 @@ func TestTableFormatters(t *testing.T) {
 
 func TestRunDeterministicForSeed(t *testing.T) {
 	cfg := smallConfig()
-	cfg.Parallelism = 2
+	cfg.Workers = 2
 	a, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)

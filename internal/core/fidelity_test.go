@@ -6,7 +6,7 @@ import (
 
 // These tests guard the paper's headline qualitative findings against
 // regressions in the algorithms or datasets. They run a compact grid and
-// assert the comparative shapes the reproduction targets (EXPERIMENTS.md),
+// assert the comparative shapes the reproduction targets (DESIGN.md §3),
 // not absolute error values. Margins are generous: the claims are about
 // orderings, which must survive seed and scale changes.
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pgb/internal/algo"
@@ -29,11 +30,22 @@ type Config struct {
 	// Scale in (0, 1] shrinks dataset node/edge targets for fast runs.
 	Scale float64
 	Seed  int64
-	// Parallelism bounds concurrent (algorithm, dataset, ε, rep) cells;
-	// 0 selects GOMAXPROCS.
-	Parallelism int
-	Profile     ProfileOptions
-	// Progress, when non-nil, receives one line per completed cell.
+	// Workers bounds concurrent (algorithm, dataset, ε) grid cells; 0
+	// selects GOMAXPROCS. Cell values are identical for every worker
+	// count: per-cell seeds derive from the cell coordinates, never from
+	// scheduling order (DESIGN.md §2). Only the measurement fields
+	// (GenSeconds, GenBytes) vary, as they observe the shared process.
+	Workers int
+	Profile ProfileOptions
+	// CheckpointPath, when non-empty, streams every finished cell to a
+	// JSONL run manifest at that path (DESIGN.md §5). If the file already
+	// exists and was written by the same configuration, the run resumes:
+	// recorded cells are restored and only the remainder is computed. A
+	// manifest from a different configuration is an error.
+	CheckpointPath string
+	// Progress, when non-nil, receives one line per completed cell (and
+	// per loaded dataset). Calls are serialised; the callback needs no
+	// locking of its own.
 	Progress func(string)
 }
 
@@ -59,8 +71,8 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 42
 	}
-	if c.Parallelism <= 0 {
-		c.Parallelism = runtime.GOMAXPROCS(0)
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -124,9 +136,12 @@ func (r *Results) Queries() []QueryID {
 	return AllQueries()
 }
 
-// Run executes the benchmark grid. Dataset graphs and their true profiles
-// are computed once (and memoized across runs via the profile cache);
-// cells run in parallel.
+// Run executes the benchmark grid on a bounded worker pool of
+// cfg.Workers goroutines. Dataset graphs and their true profiles are
+// computed once (and memoized across runs via the profile cache). With
+// cfg.CheckpointPath set, every finished cell is streamed to the JSONL
+// run manifest and an interrupted run resumes from it — see Resume for
+// the one-call form.
 func Run(cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
 	for _, q := range cfg.Queries {
@@ -134,14 +149,36 @@ func Run(cfg Config) (*Results, error) {
 			return nil, fmt.Errorf("core: unknown query id %d in config", int(q))
 		}
 	}
+	cells := gridCells(cfg)
 
-	type dsEntry struct {
-		spec    datasets.Spec
-		g       *graph.Graph
-		profile *Profile
+	var (
+		done map[cellKey]CellResult
+		ckpt *checkpointWriter
+	)
+	if cfg.CheckpointPath != "" {
+		var err error
+		done, ckpt, err = openCheckpoint(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.close()
+		if cfg.Progress != nil && len(done) > 0 {
+			cfg.Progress(fmt.Sprintf("checkpoint %s: %d/%d cells already complete", cfg.CheckpointPath, len(done), len(cells)))
+		}
 	}
+
+	// Datasets whose cells were all restored from the checkpoint never
+	// reach runCell, so their (expensive) true profile is not needed —
+	// the graph is still generated for its summary statistics.
+	needProfile := make(map[string]bool, len(cfg.Datasets))
+	for _, c := range cells {
+		if _, ok := done[c.key()]; !ok {
+			needProfile[c.Dataset] = true
+		}
+	}
+
 	popt := cfg.profileOptions()
-	dss := make(map[string]*dsEntry, len(cfg.Datasets))
+	dss := make(map[string]*datasetEntry, len(cfg.Datasets))
 	summaries := make(map[string]datasets.Summary, len(cfg.Datasets))
 	for _, name := range cfg.Datasets {
 		spec, err := datasets.ByName(name)
@@ -149,8 +186,11 @@ func Run(cfg Config) (*Results, error) {
 			return nil, err
 		}
 		g := spec.Load(cfg.Scale, cfg.Seed)
-		prof := ComputeProfileCached(g, popt, cfg.Seed+1)
-		dss[name] = &dsEntry{spec: spec, g: g, profile: prof}
+		var prof *Profile
+		if needProfile[name] {
+			prof = ComputeProfileCached(g, popt, cfg.Seed+1)
+		}
+		dss[name] = &datasetEntry{name: spec.Name, g: g, profile: prof}
 		summaries[name] = datasets.Summarize(spec, g)
 		if cfg.Progress != nil {
 			s := summaries[name]
@@ -158,45 +198,28 @@ func Run(cfg Config) (*Results, error) {
 		}
 	}
 
-	type cellKey struct {
-		alg string
-		ds  string
-		eps float64
-	}
-	var keys []cellKey
-	for _, a := range cfg.Algorithms {
-		for _, d := range cfg.Datasets {
-			for _, e := range cfg.Epsilons {
-				keys = append(keys, cellKey{a, d, e})
+	// A failed checkpoint write aborts the run: computing cells whose
+	// results cannot be persisted would waste the rest of the grid.
+	var onDone func(gridCell, CellResult)
+	var writeErr error
+	var abort atomic.Bool
+	if ckpt != nil {
+		var mu sync.Mutex
+		onDone = func(_ gridCell, res CellResult) {
+			if err := ckpt.append(res); err != nil {
+				mu.Lock()
+				if writeErr == nil {
+					writeErr = err
+				}
+				mu.Unlock()
+				abort.Store(true)
 			}
 		}
 	}
-
-	results := make([]CellResult, len(keys))
-	sem := make(chan struct{}, cfg.Parallelism)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	for i, k := range keys {
-		wg.Add(1)
-		go func(i int, k cellKey) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			entry := dss[k.ds]
-			res := runCell(cfg, k.alg, entry.spec.Name, entry.g, entry.profile, k.eps)
-			results[i] = res
-			if cfg.Progress != nil {
-				mu.Lock()
-				if res.Err != nil {
-					cfg.Progress(fmt.Sprintf("cell %-10s %-10s eps=%-4g FAILED: %v", k.alg, k.ds, k.eps, res.Err))
-				} else {
-					cfg.Progress(fmt.Sprintf("cell %-10s %-10s eps=%-4g done in %.2fs", k.alg, k.ds, k.eps, res.GenSeconds*float64(cfg.Reps)))
-				}
-				mu.Unlock()
-			}
-		}(i, k)
+	results := runGrid(cfg, cells, dss, done, onDone, &abort)
+	if writeErr != nil {
+		return nil, fmt.Errorf("core: writing checkpoint %s (run aborted): %w", cfg.CheckpointPath, writeErr)
 	}
-	wg.Wait()
 	return &Results{Config: cfg, Cells: results, DatasetSummaries: summaries}, nil
 }
 

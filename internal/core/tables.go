@@ -188,7 +188,7 @@ func (r *Results) FormatTable9() string {
 }
 
 // FormatTable10 renders Table X: mean heap allocation per algorithm ×
-// dataset in megabytes. Run with Parallelism = 1 for clean numbers.
+// dataset in megabytes. Run with Workers = 1 for clean numbers.
 func (r *Results) FormatTable10() string {
 	return r.formatResource("Table X — memory consumption (MB allocated)", func(c *CellResult) float64 { return c.GenBytes / (1 << 20) }, "%10.1f")
 }

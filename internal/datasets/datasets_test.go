@@ -51,11 +51,17 @@ func TestLoadClampsBadScale(t *testing.T) {
 }
 
 func TestLoadDeterministic(t *testing.T) {
+	// Full structural identity, not just sizes: a map-iteration-order
+	// bug once made BA emit a different edge set per load at equal N/M,
+	// which broke checkpoint-resume reproducibility.
 	for _, s := range All() {
 		a := s.Load(0.05, 9)
 		b := s.Load(0.05, 9)
 		if a.N() != b.N() || a.M() != b.M() {
 			t.Fatalf("%s: non-deterministic load", s.Name)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("%s: same sizes but different edge sets across loads", s.Name)
 		}
 	}
 }

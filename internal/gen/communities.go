@@ -65,21 +65,24 @@ func CliqueCover(n, numCliques, minSize, maxSize int, reuse float64, rng *rand.R
 	pool := make([]int32, 0, 4*numCliques)
 	for i := 0; i < numCliques; i++ {
 		size := minSize + rng.Intn(maxSize-minSize+1)
+		// list keeps draw order — feeding the preferential pool in
+		// map-iteration order would make later draws nondeterministic.
 		members := make(map[int32]struct{}, size)
-		for len(members) < size {
+		list := make([]int32, 0, size)
+		for len(list) < size {
 			var u int32
 			if len(pool) > 0 && rng.Float64() < reuse {
 				u = pool[rng.Intn(len(pool))]
 			} else {
 				u = int32(rng.Intn(n))
 			}
+			if _, dup := members[u]; dup {
+				continue
+			}
 			members[u] = struct{}{}
-		}
-		list := make([]int32, 0, size)
-		for u := range members {
 			list = append(list, u)
-			pool = append(pool, u)
 		}
+		pool = append(pool, list...)
 		for a := 0; a < len(list); a++ {
 			for c := a + 1; c < len(list); c++ {
 				_ = b.AddEdge(list[a], list[c])

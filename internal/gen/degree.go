@@ -194,10 +194,24 @@ func JDMOf(g *graph.Graph) *JointDegreeMatrix {
 // classes. Residual stubs are matched randomly. This is the construction
 // stage of DP-dK's 2K model.
 func BuildFrom2K(jdm *JointDegreeMatrix, n int, rng *rand.Rand) *graph.Graph {
+	// Sorted key order everywhere a map would otherwise be iterated:
+	// float accumulation and edge placement must not depend on Go's
+	// randomised map order, or the construction loses seed-determinism.
+	keys := make([][2]int, 0, len(jdm.Counts))
+	for k := range jdm.Counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
 	// Derive per-degree-class stub demand: class j needs Σ_k count(j,k)
 	// endpoints (diagonal contributes 2 per edge).
 	classStubs := make(map[int]float64)
-	for key, c := range jdm.Counts {
+	for _, key := range keys {
+		c := jdm.Counts[key]
 		if c <= 0 {
 			continue
 		}
@@ -274,17 +288,7 @@ func BuildFrom2K(jdm *JointDegreeMatrix, n int, rng *rand.Rand) *graph.Graph {
 		}
 		return 0, false
 	}
-	// Place edges class-pair by class-pair.
-	keys := make([][2]int, 0, len(jdm.Counts))
-	for k := range jdm.Counts {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a][0] != keys[b][0] {
-			return keys[a][0] < keys[b][0]
-		}
-		return keys[a][1] < keys[b][1]
-	})
+	// Place edges class-pair by class-pair, in the same sorted key order.
 	for _, key := range keys {
 		count := int(math.Round(jdm.Counts[key]))
 		cj, ok1 := classByDeg[key[0]]

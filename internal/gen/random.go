@@ -100,15 +100,26 @@ func BarabasiAlbert(n, mAttach int, rng *rand.Rand) *graph.Graph {
 		_ = b.AddEdge(0, int32(i))
 		repeated = append(repeated, 0, int32(i))
 	}
+	// targets keeps draw order: appending to `repeated` in map-iteration
+	// order would make the attachment sequence — and the whole graph —
+	// nondeterministic for a fixed seed.
+	targets := make([]int32, 0, mAttach)
+	seen := make(map[int32]struct{}, mAttach)
 	for u := int32(mAttach + 1); u < int32(n); u++ {
-		targets := make(map[int32]struct{}, mAttach)
+		targets = targets[:0]
+		clear(seen)
 		for len(targets) < mAttach {
 			t := repeated[rng.Intn(len(repeated))]
-			if t != u {
-				targets[t] = struct{}{}
+			if t == u {
+				continue
 			}
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			targets = append(targets, t)
 		}
-		for t := range targets {
+		for _, t := range targets {
 			_ = b.AddEdge(u, t)
 			repeated = append(repeated, u, t)
 		}

@@ -277,12 +277,20 @@ func AMI(a, b []int) float64 {
 	}
 	mi := mutualInformation(table, ma, mb, n)
 	emi := expectedMI(ma, mb, n)
+	num := mi - emi
 	den := (ha+hb)/2 - emi
-	if math.Abs(den) < 1e-15 {
+	if math.Abs(den) < 1e-12 {
+		// Degenerate: chance already achieves the mean entropy (e.g.
+		// all-singleton partitions, where EMI = MI = H). If the observed
+		// MI also sits at chance the partitions are as identical as the
+		// model can express — the identity limit is 1 — otherwise the
+		// chance-adjusted score is 0 by convention.
+		if math.Abs(num) < 1e-12 {
+			return 1
+		}
 		return 0
 	}
-	v := (mi - emi) / den
-	return v
+	return num / den
 }
 
 // expectedMI computes E[MI] under the hypergeometric permutation model.

@@ -151,6 +151,14 @@ func TestAMIIdenticalAndIndependent(t *testing.T) {
 	if v := AMI(x, y); math.Abs(v) > 0.1 {
 		t.Fatalf("AMI independent = %g, want ~0", v)
 	}
+	// Degenerate identity: all-singleton partitions make EMI = MI = H
+	// (0/0), but as unlabeled partitions they are identical — the limit
+	// is 1, not the 0 an unguarded denominator check used to return
+	// (found by TestQuickPartitionMetricBounds on a random seed).
+	s := []int{1, 3, 2, 0}
+	if v := AMI(s, s); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("AMI all-singletons identical = %g, want 1", v)
+	}
 }
 
 func TestAvgF1(t *testing.T) {

@@ -223,13 +223,34 @@ func Queries() []string {
 // BenchmarkConfig parameterises RunBenchmark; the zero value runs the
 // paper's full grid (six algorithms × eight datasets × six budgets × ten
 // repetitions at full dataset size).
+//
+// Two fields control execution rather than values: Workers bounds the
+// number of grid cells computed concurrently (0 = GOMAXPROCS; cell
+// values are identical at any worker count, because every cell seeds
+// its RNG streams from its own coordinates), and CheckpointPath streams
+// each finished cell to a durable JSONL run manifest so an interrupted
+// run can be resumed — by calling RunBenchmark again with the same
+// configuration and path, or in one call with Resume.
 type BenchmarkConfig = core.Config
 
 // BenchmarkResults is the outcome of a benchmark run, with formatters for
 // each of the paper's tables and figures.
 type BenchmarkResults = core.Results
 
-// RunBenchmark executes the benchmark grid.
+// RunBenchmark executes the benchmark grid on a bounded worker pool of
+// cfg.Workers goroutines, checkpointing to cfg.CheckpointPath when set.
 func RunBenchmark(cfg BenchmarkConfig) (*BenchmarkResults, error) {
 	return core.Run(cfg)
+}
+
+// Resume continues a benchmark run that was interrupted while writing
+// the run manifest at path (BenchmarkConfig.CheckpointPath or the
+// cmd/pgb -checkpoint flag): the grid configuration is restored from
+// the manifest's header, completed cells are reloaded from their
+// records, and only the missing cells are computed — appending to the
+// same manifest, so a run can be interrupted and resumed any number of
+// times. Resuming under a configuration digest that differs from the
+// manifest's is an error. See DESIGN.md §5 for the manifest format.
+func Resume(path string) (*BenchmarkResults, error) {
+	return core.Resume(path)
 }
