@@ -11,6 +11,8 @@
 //	BenchmarkQueries/*         — query-evaluation cost (harness overhead)
 //	BenchmarkComputeProfile/*  — serial vs parallel profile on a 6k-node graph
 //	BenchmarkRunGrid/*         — whole-grid serial vs parallel scheduling
+//	BenchmarkTriangles/*       — triangle kernel, serial vs sharded, two scales
+//	BenchmarkBFS/*             — BFS sweep kernel, serial vs sharded, two scales
 //	BenchmarkTmFFilterAblation — TmF high-pass filter vs naive matrix
 //	BenchmarkDPdKSensitivity   — smooth vs global sensitivity (DP-dK)
 //	BenchmarkDGGConstruction   — BTER vs Chung-Lu construction (DGG)
@@ -38,6 +40,7 @@ import (
 	"pgb/internal/datasets"
 	"pgb/internal/gen"
 	"pgb/internal/graph"
+	"pgb/internal/stats"
 )
 
 const benchScale = 0.05
@@ -174,6 +177,56 @@ func BenchmarkRunGrid(b *testing.B) {
 				if _, err := pgb.RunBenchmark(grid(mode.workers)); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkTriangles measures the Q3 triangle kernel on the CSR layout,
+// serial versus node-range-sharded across all cores, at two graph scales.
+// Counts are bit-identical in every mode (DESIGN.md §2).
+func BenchmarkTriangles(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		n, k int
+	}{{"small", 3000, 6}, {"large", 12000, 8}} {
+		g := gen.BarabasiAlbert(size.n, size.k, rand.New(rand.NewSource(11)))
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} {
+			b.Run(fmt.Sprintf("%s/%s", mode.name, size.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					stats.TrianglesParallel(g, mode.workers, nil)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBFS measures the Q7-Q9 BFS sweep on the CSR layout, serial
+// versus source-sharded across all cores: the exact all-pairs sweep at
+// small scale, the 128-source sampled sweep at large scale. Distances
+// are bit-identical in every mode (DESIGN.md §2).
+func BenchmarkBFS(b *testing.B) {
+	small := gen.BarabasiAlbert(2000, 6, rand.New(rand.NewSource(12)))
+	large := gen.BarabasiAlbert(12000, 8, rand.New(rand.NewSource(13)))
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(fmt.Sprintf("%s/exact", mode.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				stats.ExactDistancesParallel(small, mode.workers, nil)
+			}
+		})
+		b.Run(fmt.Sprintf("%s/sampled", mode.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				stats.SampledDistancesParallel(large, 128, rng, mode.workers, nil)
 			}
 		})
 	}

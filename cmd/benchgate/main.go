@@ -1,0 +1,227 @@
+// Command benchgate parses `go test -bench` output into a compact JSON
+// benchmark manifest and gates CI on kernel regressions against a
+// committed baseline (README "Benchmarking in CI").
+//
+// Typical CI invocation:
+//
+//	go test -run '^$' -bench 'ComputeProfile|Triangles|BFS|RunGrid' \
+//	    -benchtime 1x -count 3 -benchmem . | tee bench.txt
+//	go run ./cmd/benchgate -in bench.txt -out BENCH_PR.json \
+//	    -baseline BENCH_BASELINE.json -threshold 0.25
+//
+// Per benchmark the minimum ns/op (and B/op, allocs/op) over the -count
+// repetitions is kept — the standard noise floor. The gate fails (exit 1)
+// when any benchmark present in both files is more than threshold slower
+// than the baseline; benchmarks that exist on only one side are reported
+// but never fail the gate, so adding or retiring benchmarks does not
+// require touching the baseline in the same change. To refresh the
+// baseline intentionally, copy the run's BENCH_PR.json over
+// BENCH_BASELINE.json and commit it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Samples     int     `json:"samples"`
+}
+
+// Manifest is the JSON file benchgate reads and writes.
+type Manifest struct {
+	Schema string `json:"schema"`
+	// Meta carries the goos/goarch/pkg/cpu header lines of the run —
+	// provenance for judging whether a baseline is comparable.
+	Meta       map[string]string `json:"meta,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+const schema = "pgb-bench/1"
+
+// benchLine matches e.g.
+//
+//	BenchmarkTriangles/parallel/large-8  1  123456 ns/op  78 B/op  9 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parse reads `go test -bench` text output, keeping the minimum value
+// per benchmark across repetitions.
+func parse(r io.Reader) (*Manifest, error) {
+	m := &Manifest{Schema: schema, Meta: map[string]string{}, Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if key, val, ok := strings.Cut(line, ": "); ok && !strings.HasPrefix(line, "Benchmark") {
+			switch key {
+			case "goos", "goarch", "pkg", "cpu":
+				m.Meta[key] = val
+			}
+			continue
+		}
+		sub := benchLine.FindStringSubmatch(line)
+		if sub == nil {
+			continue
+		}
+		name := sub[1]
+		fields := strings.Fields(sub[2])
+		var res Result
+		ok := false
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad value %q on line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				ok = true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if !ok {
+			continue // benchmark line without a time measurement
+		}
+		res.Samples = 1
+		if prev, seen := m.Benchmarks[name]; seen {
+			res.NsPerOp = min(res.NsPerOp, prev.NsPerOp)
+			res.BytesPerOp = min(res.BytesPerOp, prev.BytesPerOp)
+			res.AllocsPerOp = min(res.AllocsPerOp, prev.AllocsPerOp)
+			res.Samples = prev.Samples + 1
+		}
+		m.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(m.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchgate: no benchmark lines found in input")
+	}
+	return m, nil
+}
+
+// compare reports regressions of cur against base: benchmarks slower by
+// more than threshold (0.25 = 25%). Benchmarks present on only one side
+// are listed informationally.
+func compare(w io.Writer, base, cur *Manifest, threshold float64) (regressions int) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "%-44s %14.0f %14s %8s  (missing from current run)\n", name, b.NsPerOp, "-", "-")
+			continue
+		}
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = c.NsPerOp / b.NsPerOp
+		}
+		verdict := ""
+		if ratio > 1+threshold {
+			verdict = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %7.2fx%s\n", name, b.NsPerOp, c.NsPerOp, ratio, verdict)
+	}
+	var added []string
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(w, "%-44s %14s %14.0f %8s  (not in baseline)\n", name, "-", cur.Benchmarks[name].NsPerOp, "-")
+	}
+	return regressions
+}
+
+func readManifest(path string) (*Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("benchgate: parsing %s: %w", path, err)
+	}
+	if m.Schema != schema {
+		return nil, fmt.Errorf("benchgate: %s has schema %q, want %q", path, m.Schema, schema)
+	}
+	return &m, nil
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	in := fs.String("in", "-", "go test -bench output to parse (- = stdin)")
+	out := fs.String("out", "", "write the parsed manifest JSON to this path")
+	baseline := fs.String("baseline", "", "compare against this committed manifest and fail on regressions")
+	threshold := fs.Float64("threshold", 0.25, "allowed slowdown before a benchmark counts as regressed (0.25 = 25%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	cur, err := parse(r)
+	if err != nil {
+		return err
+	}
+
+	if *out != "" {
+		enc, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d benchmarks to %s\n", len(cur.Benchmarks), *out)
+	}
+
+	if *baseline != "" {
+		base, err := readManifest(*baseline)
+		if err != nil {
+			return err
+		}
+		if n := compare(stdout, base, cur, *threshold); n > 0 {
+			return fmt.Errorf("benchgate: %d benchmark(s) regressed more than %.0f%% vs %s", n, *threshold*100, *baseline)
+		}
+		fmt.Fprintf(stdout, "no regressions beyond %.0f%% vs %s\n", *threshold*100, *baseline)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

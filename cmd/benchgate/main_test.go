@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: pgb
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkComputeProfile/serial         	       1	 216864319 ns/op	40201232 B/op	  303267 allocs/op
+BenchmarkComputeProfile/serial         	       1	 212960922 ns/op	40226800 B/op	  303501 allocs/op
+BenchmarkComputeProfile/parallel-8     	       1	 104438982 ns/op	40206808 B/op	  303318 allocs/op
+BenchmarkTriangles/parallel/large-8    	       2	   5000000 ns/op
+PASS
+ok  	pgb	3.587s
+`
+
+func TestParseAggregatesMin(t *testing.T) {
+	m, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Meta["goos"] != "linux" || m.Meta["cpu"] == "" {
+		t.Fatalf("meta not captured: %v", m.Meta)
+	}
+	serial, ok := m.Benchmarks["BenchmarkComputeProfile/serial"]
+	if !ok {
+		t.Fatalf("serial benchmark missing: %v", m.Benchmarks)
+	}
+	if serial.NsPerOp != 212960922 || serial.Samples != 2 {
+		t.Fatalf("serial = %+v, want min ns 212960922 over 2 samples", serial)
+	}
+	// the -8 GOMAXPROCS suffix must be stripped so runs on different
+	// machines aggregate under one name
+	par, ok := m.Benchmarks["BenchmarkComputeProfile/parallel"]
+	if !ok || par.NsPerOp != 104438982 {
+		t.Fatalf("parallel benchmark wrong: %+v (ok=%v)", par, ok)
+	}
+	if tri := m.Benchmarks["BenchmarkTriangles/parallel/large"]; tri.NsPerOp != 5000000 || tri.BytesPerOp != 0 {
+		t.Fatalf("triangles benchmark wrong: %+v", tri)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok pgb 1s\n")); err == nil {
+		t.Fatal("expected error on input without benchmarks")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := &Manifest{Schema: schema, Benchmarks: map[string]Result{
+		"BenchmarkA":    {NsPerOp: 100, Samples: 3},
+		"BenchmarkB":    {NsPerOp: 100, Samples: 3},
+		"BenchmarkGone": {NsPerOp: 50, Samples: 3},
+	}}
+	cur := &Manifest{Schema: schema, Benchmarks: map[string]Result{
+		"BenchmarkA":   {NsPerOp: 120, Samples: 3}, // +20% — within 25%
+		"BenchmarkB":   {NsPerOp: 126, Samples: 3}, // +26% — regression
+		"BenchmarkNew": {NsPerOp: 10, Samples: 3},
+	}}
+	var sb strings.Builder
+	if n := compare(&sb, base, cur, 0.25); n != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", n, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"REGRESSION", "missing from current run", "not in baseline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "REGRESSION") != 1 {
+		t.Fatalf("only BenchmarkB should regress:\n%s", out)
+	}
+}
+
+func TestRunRoundTripAndGate(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "pr.json")
+	var sb strings.Builder
+	if err := run([]string{"-in", in, "-out", out}, nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// a run compared against its own manifest can never regress
+	sb.Reset()
+	if err := run([]string{"-in", in, "-out", out, "-baseline", out}, nil, &sb); err != nil {
+		t.Fatalf("self-comparison failed: %v\n%s", err, sb.String())
+	}
+	// shrink the allowed threshold to force a failure against an
+	// artificially fast baseline
+	fast := strings.ReplaceAll(sample, "212960922", "2")
+	fastIn := filepath.Join(dir, "fast.txt")
+	if err := os.WriteFile(fastIn, []byte(fast), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fastOut := filepath.Join(dir, "fast.json")
+	if err := run([]string{"-in", fastIn, "-out", fastOut}, nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-baseline", fastOut}, nil, &sb); err == nil {
+		t.Fatal("expected regression failure against the fast baseline")
+	}
+}

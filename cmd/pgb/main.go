@@ -86,7 +86,8 @@ commands:
   fig2        print the Fig. 2 error-vs-epsilon series
   fig7        print the Fig. 7 DER comparison
   verify      print appendix verification (-alg dpdk|tmf|privskg)
-  generate    run one algorithm once and print the synthetic edge list
+  generate    run one algorithm once and print the synthetic graph
+              (-format edgelist|csv|dot)
   report      extended multi-metric report for one (alg, dataset, eps) cell
   ablation    run a design-choice ablation (-name tmf-filter|dpdk-sensitivity|
               dpdk-order|dgg-construction|privgraph-split|privhrg-mcmc)
@@ -324,6 +325,7 @@ func cmdGenerate(args []string) error {
 	eps := fs.Float64("eps", 1.0, "privacy budget")
 	scale := fs.Float64("scale", 0.1, "dataset size factor")
 	seed := fs.Int64("seed", 42, "random seed")
+	format := fs.String("format", "edgelist", "output format: edgelist, csv or dot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -341,5 +343,14 @@ func cmdGenerate(args []string) error {
 	if err != nil {
 		return err
 	}
-	return graph.WriteEdgeList(os.Stdout, syn)
+	switch *format {
+	case "edgelist":
+		return graph.WriteEdgeList(os.Stdout, syn)
+	case "csv":
+		return core.WriteEdgeCSV(os.Stdout, syn)
+	case "dot":
+		return graph.WriteDOT(os.Stdout, syn, nil)
+	default:
+		return fmt.Errorf("unknown -format %q (want edgelist, csv or dot)", *format)
+	}
 }

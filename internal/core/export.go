@@ -1,11 +1,37 @@
 package core
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
+
+	"pgb/internal/graph"
 )
+
+// WriteEdgeCSV exports a graph as a two-column CSV edge list — header
+// "u,v", one canonical (u < v) edge per row — the machine-readable
+// counterpart of graph.WriteEdgeList for spreadsheet/pandas consumers
+// (cmd/pgb generate -format csv). It streams straight off the CSR edge
+// iterator: no materialised edge slice, one small row buffer.
+func WriteEdgeCSV(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "u,v\n"); err != nil {
+		return err
+	}
+	row := make([]byte, 0, 24)
+	for e := range g.EdgeSeq() {
+		row = strconv.AppendInt(row[:0], int64(e.U), 10)
+		row = append(row, ',')
+		row = strconv.AppendInt(row, int64(e.V), 10)
+		row = append(row, '\n')
+		if _, err := bw.Write(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
 
 // WriteCSV exports the raw benchmark cells as CSV — one row per
 // (algorithm, dataset, ε, query) with the mean error and its standard

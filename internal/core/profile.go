@@ -10,6 +10,7 @@ import (
 
 	"pgb/internal/community"
 	"pgb/internal/graph"
+	"pgb/internal/par"
 	"pgb/internal/stats"
 )
 
@@ -56,12 +57,36 @@ type ProfileOptions struct {
 	// need; nil computes every registered query. Results are identical to
 	// a full profile on the populated fields.
 	Queries []QueryID
-	// Serial disables the worker pool. Results are byte-identical either
-	// way (each pass owns an independent seeded RNG stream); Serial exists
-	// for measurement baselines and debugging.
+	// Serial disables all parallelism — the pass pool and the graph
+	// kernels inside passes. Results are byte-identical either way (each
+	// pass owns an independent seeded RNG stream and the kernels are
+	// worker-count-invariant); Serial exists for measurement baselines
+	// and debugging.
 	Serial bool
-	// Workers bounds concurrent passes; 0 selects GOMAXPROCS.
+	// Workers is the profile's single parallelism budget: it bounds the
+	// concurrent passes AND the shard workers inside the triangle/
+	// clustering and BFS kernels, which draw helpers from one shared
+	// allowance (DESIGN.md §2). 0 selects GOMAXPROCS.
 	Workers int
+	// Budget, when non-nil, is an externally owned worker allowance the
+	// profile draws every helper from — the grid runner threads one
+	// budget through all concurrent cells so grid-level and kernel-level
+	// parallelism never oversubscribe Config.Workers. nil gives the
+	// computation its own allowance of Workers-1 helpers. Purely a
+	// scheduling knob: results never depend on it.
+	Budget *par.Budget
+}
+
+// effectiveWorkers resolves the parallelism budget: Serial forces 1,
+// 0 selects GOMAXPROCS.
+func (o ProfileOptions) effectiveWorkers() int {
+	if o.Serial {
+		return 1
+	}
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o ProfileOptions) withDefaults() ProfileOptions {
@@ -111,14 +136,27 @@ func ComputeProfile(g *graph.Graph, opt ProfileOptions, rng *rand.Rand) *Profile
 
 // ComputeProfileSeeded evaluates the selected queries on g. Independent
 // compute groups (structural scans, the triangle/clustering pass, the BFS
-// sweep, Louvain, power iteration, and each custom query) run concurrently
-// on a worker pool; every pass owns a deterministic RNG stream derived
-// from seed, so the result is identical for a fixed seed regardless of
-// parallelism.
+// sweep, Louvain, power iteration, and each custom query) run concurrently,
+// heaviest first, and the triangle/BFS kernels additionally shard their own
+// work; both levels draw helper workers from one shared allowance of
+// opt.Workers (opt.Budget when the caller owns a wider one), so idle pass
+// capacity flows into the kernels of the passes still running. Every pass
+// owns a deterministic RNG stream derived from seed and the kernels are
+// worker-count-invariant, so the result is identical for a fixed seed
+// regardless of parallelism.
 func ComputeProfileSeeded(g *graph.Graph, opt ProfileOptions, seed int64) *Profile {
 	opt = opt.withDefaults()
+	workers := opt.effectiveWorkers()
+	budget := opt.Budget
+	if budget == nil && workers > 1 {
+		budget = par.NewBudget(workers - 1)
+	}
+
 	p := &Profile{}
-	tasks := profileTasks(g, opt, seed, p)
+	tasks := profileTasks(g, opt, seed, p, workers, budget)
+	if len(tasks) == 0 {
+		return p
+	}
 
 	// Heaviest passes first, deterministic within a class.
 	sort.SliceStable(tasks, func(i, j int) bool {
@@ -128,43 +166,26 @@ func ComputeProfileSeeded(g *graph.Graph, opt ProfileOptions, seed int64) *Profi
 		return tasks[i].order < tasks[j].order
 	})
 
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	extra := workers - 1
+	if extra > len(tasks)-1 {
+		extra = len(tasks) - 1
 	}
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	if opt.Serial || workers <= 1 {
-		for _, t := range tasks {
+	claim := par.Queue(len(tasks))
+	budget.Do(extra, func() {
+		for i, ok := claim(); ok; i, ok = claim() {
+			t := tasks[i]
 			t.run(rand.New(rand.NewSource(t.seed)))
 		}
-		return p
-	}
-
-	ch := make(chan profileTask)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for t := range ch {
-				t.run(rand.New(rand.NewSource(t.seed)))
-			}
-		}()
-	}
-	for _, t := range tasks {
-		ch <- t
-	}
-	close(ch)
-	wg.Wait()
+	})
 	return p
 }
 
 // profileTasks assembles the passes the selected queries need. Each pass
 // writes a disjoint set of Profile fields, so passes are race-free
 // without locking; custom passes share the Custom map behind a mutex.
-func profileTasks(g *graph.Graph, opt ProfileOptions, seed int64, p *Profile) []profileTask {
+// workers and budget parameterise the kernels inside the heavy passes —
+// the same allowance the pass pool itself draws from.
+func profileTasks(g *graph.Graph, opt ProfileOptions, seed int64, p *Profile, workers int, budget *par.Budget) []profileTask {
 	selected := opt.Queries
 	if selected == nil {
 		selected = RegisteredQueries()
@@ -205,13 +226,13 @@ func profileTasks(g *graph.Graph, opt ProfileOptions, seed int64, p *Profile) []
 		p.Assortativity = stats.Assortativity(g)
 	})
 	add(GroupTriangles, CostHeavy, func(*rand.Rand) {
-		tri := stats.Triangles(g)
+		tri := stats.TrianglesParallel(g, workers, budget)
 		p.Triangles = tri
 		p.GCC = stats.GlobalClusteringFrom(tri, stats.Wedges(g))
-		p.ACC = stats.AvgClustering(g)
+		p.ACC = stats.AvgClusteringParallel(g, workers, budget)
 	})
 	add(GroupDistances, CostHeavy, func(rng *rand.Rand) {
-		ds := stats.Distances(g, opt.ExactPathLimit, opt.PathSamples, rng)
+		ds := stats.DistancesParallel(g, opt.ExactPathLimit, opt.PathSamples, rng, workers, budget)
 		p.Diameter = ds.Diameter
 		p.AvgPath = ds.AvgPath
 		p.DistanceDist = ds.Distribution
@@ -257,8 +278,8 @@ type profileCacheKey struct {
 }
 
 // optKey canonically encodes everything besides the graph that affects
-// the profile's value. Serial/Workers are excluded: they change only the
-// schedule, never the result.
+// the profile's value. Serial/Workers/Budget are excluded: they change
+// only the schedule, never the result.
 func (o ProfileOptions) optKey(seed int64) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "l%d s%d i%d x%t seed%d q", o.ExactPathLimit, o.PathSamples, o.EVCIterations, o.ExactDiameter, seed)

@@ -10,6 +10,7 @@ import (
 	"pgb/internal/gen"
 	"pgb/internal/graph"
 	"pgb/internal/metrics"
+	"pgb/internal/par"
 )
 
 // legacyScore is a verbatim copy of the 15-way switch the registry
@@ -153,6 +154,33 @@ func TestComputeProfileParallelMatchesSerial(t *testing.T) {
 	}
 	if reflect.DeepEqual(ComputeProfileSeeded(g, serial, 78).DistanceDist, want.DistanceDist) {
 		t.Log("note: distance sampling insensitive to seed on this graph")
+	}
+}
+
+// TestComputeProfileWorkerCountInvariant extends the parallel-matches-
+// serial pin down into the sharded kernels: every worker count, with and
+// without an externally shared budget, must reproduce the serial profile
+// bit for bit — triangle counts, the clustering coefficients, and the
+// sampled-BFS distance distribution included (DESIGN.md §2).
+func TestComputeProfileWorkerCountInvariant(t *testing.T) {
+	g := gen.PlantedPartition(2500, 8, 0.02, 0.002, rng(33))
+	if g.N() <= 2000 {
+		t.Fatal("test graph must exceed the exact-BFS limit")
+	}
+	base := ProfileOptions{PathSamples: 32}
+	serial := base
+	serial.Serial = true
+	want := ComputeProfileSeeded(g, serial, 99)
+	for _, workers := range []int{1, 2, 8} {
+		opt := base
+		opt.Workers = workers
+		if got := ComputeProfileSeeded(g, opt, 99); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: profile diverges from serial", workers)
+		}
+		opt.Budget = par.NewBudget(workers - 1)
+		if got := ComputeProfileSeeded(g, opt, 99); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d with shared budget: profile diverges from serial", workers)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"pgb/internal/algo"
 	"pgb/internal/datasets"
 	"pgb/internal/graph"
+	"pgb/internal/par"
 )
 
 // Config parameterises a benchmark run. The zero value is completed by
@@ -30,11 +31,16 @@ type Config struct {
 	// Scale in (0, 1] shrinks dataset node/edge targets for fast runs.
 	Scale float64
 	Seed  int64
-	// Workers bounds concurrent (algorithm, dataset, ε) grid cells; 0
-	// selects GOMAXPROCS. Cell values are identical for every worker
-	// count: per-cell seeds derive from the cell coordinates, never from
-	// scheduling order (DESIGN.md §2). Only the measurement fields
-	// (GenSeconds, GenBytes) vary, as they observe the shared process.
+	// Workers is the run's single parallelism budget: it bounds the
+	// concurrent (algorithm, dataset, ε) grid cells AND the kernel
+	// workers inside each cell's profile computation, which draw helpers
+	// from one shared allowance — so a tail of straggler cells
+	// automatically spends the freed capacity inside its triangle/BFS
+	// kernels. 0 selects GOMAXPROCS. Cell values are identical for every
+	// worker count: per-cell seeds derive from the cell coordinates,
+	// never from scheduling order, and the kernels are worker-count-
+	// invariant (DESIGN.md §2). Only the measurement fields (GenSeconds,
+	// GenBytes) vary, as they observe the shared process.
 	Workers int
 	Profile ProfileOptions
 	// CheckpointPath, when non-empty, streams every finished cell to a
@@ -47,6 +53,11 @@ type Config struct {
 	// per loaded dataset). Calls are serialised; the callback needs no
 	// locking of its own.
 	Progress func(string)
+
+	// budget is the run-wide worker allowance Workers resolves to,
+	// created by Run and shared by the cell scheduler and every profile
+	// computation (pass pools and graph kernels) underneath it.
+	budget *par.Budget
 }
 
 func (c Config) withDefaults() Config {
@@ -78,10 +89,17 @@ func (c Config) withDefaults() Config {
 }
 
 // profileOptions is the per-cell profile configuration: the caller's
-// tuning knobs restricted to the selected queries.
+// tuning knobs restricted to the selected queries, drawing parallelism
+// from the run's single worker budget unless explicitly overridden.
 func (c Config) profileOptions() ProfileOptions {
 	opt := c.Profile
 	opt.Queries = c.Queries
+	if opt.Workers == 0 {
+		opt.Workers = c.Workers
+	}
+	if opt.Budget == nil {
+		opt.Budget = c.budget
+	}
 	return opt
 }
 
@@ -144,6 +162,10 @@ func (r *Results) Queries() []QueryID {
 // the one-call form.
 func Run(cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
+	// One worker allowance for the whole run: the cell scheduler, the
+	// profile pass pools, and the graph kernels all draw helpers from it
+	// (the calling goroutine is the one worker outside the budget).
+	cfg.budget = par.NewBudget(cfg.Workers - 1)
 	for _, q := range cfg.Queries {
 		if _, ok := registry.spec(q); !ok {
 			return nil, fmt.Errorf("core: unknown query id %d in config", int(q))

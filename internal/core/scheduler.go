@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"pgb/internal/graph"
+	"pgb/internal/par"
 )
 
 // scheduler.go executes the benchmark grid on a bounded worker pool.
@@ -61,12 +62,15 @@ type datasetEntry struct {
 }
 
 // runGrid executes cells on min(cfg.Workers, len(cells)) workers and
-// returns one CellResult per cell, in cell order. Cells found in done
-// are restored from the checkpoint without recomputation; every freshly
-// computed cell is handed to onDone (when non-nil) as soon as it
-// finishes, concurrently from worker goroutines. Once abort is set (a
-// checkpoint write failed) no further cells are dispatched; in-flight
-// cells finish.
+// returns one CellResult per cell, in cell order. Cell workers are the
+// caller plus helpers drawn from the run-wide budget (cfg.budget) — the
+// same allowance the per-cell profile pools and graph kernels draw from,
+// so once the grid's tail leaves helpers idle, their slots flow into the
+// kernels of the cells still running. Cells found in done are restored
+// from the checkpoint without recomputation; every freshly computed cell
+// is handed to onDone (when non-nil) as soon as it finishes, concurrently
+// from worker goroutines. Once abort is set (a checkpoint write failed)
+// no further cells are dispatched; in-flight cells finish.
 func runGrid(cfg Config, cells []gridCell, dss map[string]*datasetEntry, done map[cellKey]CellResult, onDone func(gridCell, CellResult), abort *atomic.Bool) []CellResult {
 	results := make([]CellResult, len(cells))
 	pending := make([]gridCell, 0, len(cells))
@@ -115,24 +119,11 @@ func runGrid(cfg Config, cells []gridCell, dss map[string]*datasetEntry, done ma
 
 	aborted := func() bool { return abort != nil && abort.Load() }
 
-	ch := make(chan gridCell)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for c := range ch {
-				run(c)
-			}
-		}()
-	}
-	for _, c := range pending {
-		if aborted() {
-			break
+	claim := par.Queue(len(pending))
+	cfg.budget.Do(workers-1, func() {
+		for i, ok := claim(); ok && !aborted(); i, ok = claim() {
+			run(pending[i])
 		}
-		ch <- c
-	}
-	close(ch)
-	wg.Wait()
+	})
 	return results
 }

@@ -248,7 +248,7 @@ func cliqueGraph(n, m, minSize, maxSize int, rng *rand.Rand) *graph.Graph {
 		deficit := m - b.M()
 		batch := int(float64(deficit)/edgesPerClique) + 1
 		k := gen.CliqueCover(n, batch, minSize, maxSize, 0.1, rng)
-		for _, e := range k.Edges() {
+		for e := range k.EdgeSeq() {
 			if b.M() >= m+m/20 {
 				break
 			}
@@ -276,7 +276,7 @@ func padToEdges(g *graph.Graph, m int, rng *rand.Rand) *graph.Graph {
 		return g
 	}
 	b := graph.NewBuilder(g.N())
-	for _, e := range g.Edges() {
+	for e := range g.EdgeSeq() {
 		_ = b.AddEdge(e.U, e.V)
 	}
 	need := m - g.M()

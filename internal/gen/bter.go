@@ -85,7 +85,7 @@ func BTER(degrees []int, rho float64, rng *rand.Rand) *graph.Graph {
 		}
 	}
 	cl := ChungLu(weights, rng)
-	for _, e := range cl.Edges() {
+	for e := range cl.EdgeSeq() {
 		_ = b.AddEdge(e.U, e.V)
 	}
 	return b.Build()

@@ -25,7 +25,7 @@ func PlantedPartition(n, blocks int, pIn, pOut float64, rng *rand.Rand) *graph.G
 		lo := blk * n / blocks
 		hi := (blk + 1) * n / blocks
 		sub := GNP(hi-lo, pIn, rng)
-		for _, e := range sub.Edges() {
+		for e := range sub.EdgeSeq() {
 			_ = b.AddEdge(e.U+int32(lo), e.V+int32(lo))
 		}
 	}
@@ -97,7 +97,7 @@ func CliqueCover(n, numCliques, minSize, maxSize int, reuse float64, rng *rand.R
 // coefficient of an existing graph in place (returns a new graph).
 func TriadicClosure(g *graph.Graph, extra int, rng *rand.Rand) *graph.Graph {
 	b := graph.NewBuilder(g.N())
-	for _, e := range g.Edges() {
+	for e := range g.EdgeSeq() {
 		_ = b.AddEdge(e.U, e.V)
 	}
 	n := g.N()

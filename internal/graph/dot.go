@@ -27,7 +27,7 @@ func WriteDOT(w io.Writer, g *Graph, labels []int) error {
 		}
 		fmt.Fprintf(bw, "  n%d [fillcolor=\"%s\"];\n", u, color)
 	}
-	for _, e := range g.Edges() {
+	for e := range g.EdgeSeq() {
 		fmt.Fprintf(bw, "  n%d -- n%d;\n", e.U, e.V)
 	}
 	if _, err := fmt.Fprintln(bw, "}"); err != nil {

@@ -22,7 +22,7 @@ func (g *Graph) Fingerprint() uint64 {
 	mix(uint64(g.n))
 	mix(uint64(g.m))
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
+		for _, v := range g.nbr[g.off[u]:g.off[u+1]] {
 			if int32(u) < v {
 				mix(uint64(uint32(u))<<32 | uint64(uint32(v)))
 			}

@@ -7,6 +7,38 @@ import (
 
 // FuzzReadEdgeList: the native edge-list parser must never panic, and
 // accepted graphs must validate and survive a write/read round trip.
+// FuzzFromEdgesMatchesBuilder: the direct-CSR FromEdges construction
+// must agree with the Builder reference for arbitrary byte-derived edge
+// lists — same fingerprint, same validation outcome. Each consecutive
+// byte pair is one (possibly degenerate) edge over a small node range,
+// so self-loops, duplicates, and out-of-range endpoints all occur.
+func FuzzFromEdgesMatchesBuilder(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2}, uint8(5))
+	f.Add([]byte{3, 3, 0, 9, 9, 0}, uint8(4))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, rawN uint8) {
+		n := int(rawN % 64)
+		edges := make([]Edge, 0, len(data)/2)
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(data); i += 2 {
+			e := Edge{U: int32(data[i]) - 2, V: int32(data[i+1]) - 2}
+			edges = append(edges, e)
+			_ = b.AddEdge(e.U, e.V)
+		}
+		g := FromEdges(n, edges)
+		ref := b.Build()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("FromEdges graph fails invariants: %v", err)
+		}
+		if g.N() != ref.N() || g.M() != ref.M() {
+			t.Fatalf("FromEdges %v differs from Builder %v", g, ref)
+		}
+		if g.Fingerprint() != ref.Fingerprint() {
+			t.Fatalf("fingerprint mismatch: %x vs %x", g.Fingerprint(), ref.Fingerprint())
+		}
+	})
+}
+
 func FuzzReadEdgeList(f *testing.F) {
 	f.Add("# nodes=3 edges=1\n0 1\n")
 	f.Add("0 1\n2 3\n")

@@ -8,16 +8,24 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"iter"
+	"slices"
 	"sort"
 )
 
-// Graph is an undirected simple graph over nodes 0..n-1, stored as
-// sorted adjacency slices. Construction goes through Builder (which
-// deduplicates); a finished Graph is immutable by convention.
+// Graph is an undirected simple graph over nodes 0..n-1, stored in CSR
+// (compressed sparse row) form: one flat neighbor arena plus per-node
+// offsets (DESIGN.md §8). Node u's sorted neighbors are
+// nbr[off[u]:off[u+1]]. The flat layout keeps every adjacency scan on
+// one contiguous allocation — the hot kernels (triangle counting, BFS)
+// walk it cache-line by cache-line instead of chasing one pointer per
+// node. Construction goes through Builder or FromEdges (which
+// deduplicate); a finished Graph is immutable by convention.
 type Graph struct {
 	n   int
 	m   int
-	adj [][]int32
+	off []int64 // len n+1; off[u]..off[u+1] delimits u's neighbors
+	nbr []int32 // len 2m; concatenated sorted neighbor lists
 }
 
 // Edge is an undirected edge with U < V.
@@ -38,7 +46,7 @@ func New(n int) *Graph {
 	if n < 0 {
 		n = 0
 	}
-	return &Graph{n: n, adj: make([][]int32, n)}
+	return &Graph{n: n, off: make([]int64, n+1)}
 }
 
 // N returns the number of nodes.
@@ -48,43 +56,72 @@ func (g *Graph) N() int { return g.n }
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of node u.
-func (g *Graph) Degree(u int32) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int32) int { return int(g.off[u+1] - g.off[u]) }
 
-// Neighbors returns the sorted neighbor slice of u. The caller must not
+// Neighbors returns the sorted neighbor slice of u — a view into the
+// shared CSR arena. The caller must not modify the returned slice.
+func (g *Graph) Neighbors(u int32) []int32 { return g.nbr[g.off[u]:g.off[u+1]] }
+
+// Offsets returns the CSR offset table: len n+1, with node u's
+// neighbors spanning [Offsets()[u], Offsets()[u+1]) of the arena. It is
+// exactly the degree prefix-sum, which work-sharding kernels use for
+// mass-balanced chunking without rebuilding it. The caller must not
 // modify the returned slice.
-func (g *Graph) Neighbors(u int32) []int32 { return g.adj[u] }
+func (g *Graph) Offsets() []int64 { return g.off }
 
 // HasEdge reports whether the undirected edge {u, v} exists.
 func (g *Graph) HasEdge(u, v int32) bool {
 	if u < 0 || v < 0 || int(u) >= g.n || int(v) >= g.n || u == v {
 		return false
 	}
-	a := g.adj[u]
-	if len(g.adj[v]) < len(a) {
-		a, v = g.adj[v], u
+	if g.Degree(v) < g.Degree(u) {
+		u, v = v, u
 	}
+	a := g.nbr[g.off[u]:g.off[u+1]]
 	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
 	return i < len(a) && a[i] == v
 }
 
 // Edges returns all edges in canonical orientation, sorted.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, g.m)
+	return g.EdgesAppend(make([]Edge, 0, g.m))
+}
+
+// EdgesAppend appends all edges in canonical orientation to dst and
+// returns the extended slice — the allocation-free counterpart of Edges
+// for callers that hold a reusable buffer.
+func (g *Graph) EdgesAppend(dst []Edge) []Edge {
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
+		for _, v := range g.nbr[g.off[u]:g.off[u+1]] {
 			if int32(u) < v {
-				out = append(out, Edge{U: int32(u), V: v})
+				dst = append(dst, Edge{U: int32(u), V: v})
 			}
 		}
 	}
-	return out
+	return dst
+}
+
+// EdgeSeq iterates the edges in canonical orientation, sorted, without
+// materialising a slice. Exporters and generator construction loops
+// range over it directly (and may break early) instead of allocating
+// the full edge list per call.
+func (g *Graph) EdgeSeq() iter.Seq[Edge] {
+	return func(yield func(Edge) bool) {
+		for u := 0; u < g.n; u++ {
+			for _, v := range g.nbr[g.off[u]:g.off[u+1]] {
+				if int32(u) < v && !yield(Edge{U: int32(u), V: v}) {
+					return
+				}
+			}
+		}
+	}
 }
 
 // Degrees returns the degree sequence indexed by node ID.
 func (g *Graph) Degrees() []int {
 	d := make([]int, g.n)
 	for u := 0; u < g.n; u++ {
-		d[u] = len(g.adj[u])
+		d[u] = int(g.off[u+1] - g.off[u])
 	}
 	return d
 }
@@ -93,8 +130,8 @@ func (g *Graph) Degrees() []int {
 func (g *Graph) MaxDegree() int {
 	max := 0
 	for u := 0; u < g.n; u++ {
-		if len(g.adj[u]) > max {
-			max = len(g.adj[u])
+		if d := int(g.off[u+1] - g.off[u]); d > max {
+			max = d
 		}
 	}
 	return max
@@ -110,21 +147,30 @@ func (g *Graph) Density() float64 {
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{n: g.n, m: g.m, adj: make([][]int32, g.n)}
-	for u := range g.adj {
-		c.adj[u] = append([]int32(nil), g.adj[u]...)
+	return &Graph{
+		n:   g.n,
+		m:   g.m,
+		off: slices.Clone(g.off),
+		nbr: slices.Clone(g.nbr),
 	}
-	return c
 }
 
-// Validate checks structural invariants: sorted adjacency, symmetry,
-// no self-loops, no duplicates, and consistent edge count. It is used by
-// tests and by algorithm post-conditions.
+// Validate checks structural invariants: consistent offsets, sorted
+// adjacency, symmetry, no self-loops, no duplicates, and consistent edge
+// count. It is used by tests and by algorithm post-conditions.
 func (g *Graph) Validate() error {
-	half := 0
+	if len(g.off) != g.n+1 {
+		return fmt.Errorf("graph: offset table has %d entries for %d nodes", len(g.off), g.n)
+	}
+	if g.off[0] != 0 || g.off[g.n] != int64(len(g.nbr)) {
+		return fmt.Errorf("graph: offset bounds [%d, %d] inconsistent with arena size %d", g.off[0], g.off[g.n], len(g.nbr))
+	}
 	for u := 0; u < g.n; u++ {
+		if g.off[u] > g.off[u+1] {
+			return fmt.Errorf("graph: offsets decrease at node %d", u)
+		}
 		prev := int32(-1)
-		for _, v := range g.adj[u] {
+		for _, v := range g.nbr[g.off[u]:g.off[u+1]] {
 			if v < 0 || int(v) >= g.n {
 				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", u, v)
 			}
@@ -139,10 +185,9 @@ func (g *Graph) Validate() error {
 			}
 			prev = v
 		}
-		half += len(g.adj[u])
 	}
-	if half != 2*g.m {
-		return fmt.Errorf("graph: edge count %d inconsistent with adjacency size %d", g.m, half)
+	if int(g.off[g.n]) != 2*g.m {
+		return fmt.Errorf("graph: edge count %d inconsistent with adjacency size %d", g.m, g.off[g.n])
 	}
 	return nil
 }
@@ -231,46 +276,95 @@ func (b *Builder) Degree(u int32) int {
 	return len(b.adj[u])
 }
 
-// Build finalizes the builder into an immutable Graph.
+// Build finalizes the builder into an immutable CSR Graph.
 func (b *Builder) Build() *Graph {
-	g := &Graph{n: b.n, adj: make([][]int32, b.n)}
-	half := 0
+	off := make([]int64, b.n+1)
+	for u := 0; u < b.n; u++ {
+		off[u+1] = off[u] + int64(len(b.adj[u]))
+	}
+	nbr := make([]int32, off[b.n])
 	for u := 0; u < b.n; u++ {
 		if len(b.adj[u]) == 0 {
 			continue
 		}
-		nb := make([]int32, 0, len(b.adj[u]))
+		seg := nbr[off[u]:off[u]:off[u+1]]
 		for v := range b.adj[u] {
-			nb = append(nb, v)
+			seg = append(seg, v)
 		}
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
-		g.adj[u] = nb
-		half += len(nb)
+		slices.Sort(seg)
 	}
-	g.m = half / 2
-	return g
+	return &Graph{n: b.n, m: int(off[b.n] / 2), off: off, nbr: nbr}
 }
 
 // FromEdges constructs a graph with n nodes from an edge list, dropping
-// self-loops and duplicates.
+// self-loops, duplicates, and out-of-range endpoints. It builds the CSR
+// arena directly — count, scatter, per-node sort, in-place dedup — with
+// no per-node maps, so it is the cheap path for generators that already
+// hold an edge list.
 func FromEdges(n int, edges []Edge) *Graph {
-	b := NewBuilder(n)
-	for _, e := range edges {
-		_ = b.AddEdge(e.U, e.V)
+	if n < 0 {
+		n = 0
 	}
-	return b.Build()
+	keep := func(e Edge) bool {
+		return e.U != e.V && e.U >= 0 && e.V >= 0 && int(e.U) < n && int(e.V) < n
+	}
+	off := make([]int64, n+1)
+	for _, e := range edges {
+		if keep(e) {
+			off[e.U+1]++
+			off[e.V+1]++
+		}
+	}
+	for u := 0; u < n; u++ {
+		off[u+1] += off[u]
+	}
+	nbr := make([]int32, off[n])
+	pos := make([]int64, n)
+	copy(pos, off[:n])
+	for _, e := range edges {
+		if keep(e) {
+			nbr[pos[e.U]] = e.V
+			pos[e.U]++
+			nbr[pos[e.V]] = e.U
+			pos[e.V]++
+		}
+	}
+	// Sort each node's segment and dedup in place, compacting the arena
+	// left; the write cursor never overtakes the read position, and
+	// off[u+1] is only rewritten after segment u+1 has been consumed.
+	w := int64(0)
+	for u := 0; u < n; u++ {
+		seg := nbr[off[u]:off[u+1]]
+		slices.Sort(seg)
+		start := w
+		prev := int32(-1)
+		for _, v := range seg {
+			if v != prev {
+				nbr[w] = v
+				w++
+				prev = v
+			}
+		}
+		off[u] = start
+	}
+	off[n] = w
+	return &Graph{n: n, m: int(w / 2), off: off, nbr: nbr[:w:w]}
 }
 
 // FromAdjacency constructs a graph from raw (possibly unsorted,
 // possibly asymmetric) adjacency lists; edges are symmetrized.
 func FromAdjacency(adj [][]int32) *Graph {
-	b := NewBuilder(len(adj))
+	total := 0
+	for _, nb := range adj {
+		total += len(nb)
+	}
+	edges := make([]Edge, 0, total)
 	for u, nb := range adj {
 		for _, v := range nb {
-			_ = b.AddEdge(int32(u), v)
+			edges = append(edges, Canon(int32(u), v))
 		}
 	}
-	return b.Build()
+	return FromEdges(len(adj), edges)
 }
 
 // Subgraph returns the induced subgraph on the given nodes, relabelled to
@@ -280,15 +374,15 @@ func (g *Graph) Subgraph(nodes []int32) *Graph {
 	for i, u := range nodes {
 		idx[u] = int32(i)
 	}
-	b := NewBuilder(len(nodes))
+	var edges []Edge
 	for i, u := range nodes {
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if j, ok := idx[v]; ok {
-				_ = b.AddEdge(int32(i), j)
+				edges = append(edges, Canon(int32(i), j))
 			}
 		}
 	}
-	return b.Build()
+	return FromEdges(len(nodes), edges)
 }
 
 // LargestComponent returns the node set of the largest connected component.
@@ -319,10 +413,9 @@ func (g *Graph) Components() [][]int32 {
 		queue = queue[:0]
 		queue = append(queue, int32(s))
 		comp := []int32{int32(s)}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, v := range g.adj[u] {
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Neighbors(u) {
 				if !seen[v] {
 					seen[v] = true
 					queue = append(queue, v)

@@ -139,8 +139,8 @@ func TestClone(t *testing.T) {
 	if c.N() != g.N() || c.M() != g.M() || !c.HasEdge(0, 1) {
 		t.Fatal("clone mismatch")
 	}
-	// mutating the clone's adjacency must not affect the original
-	c.adj[0][0] = 2
+	// mutating the clone's neighbor arena must not affect the original
+	c.nbr[0] = 2
 	if !g.HasEdge(0, 1) {
 		t.Fatal("clone shares memory with original")
 	}
@@ -181,7 +181,7 @@ func TestFromAdjacencySymmetrizes(t *testing.T) {
 
 func TestValidateCatchesCorruption(t *testing.T) {
 	g := FromEdges(3, []Edge{{0, 1}})
-	g.adj[0] = append(g.adj[0], 2) // asymmetric corruption
+	g.nbr[0] = 2 // node 0 now lists neighbor 2, but 2 does not list 0
 	if err := g.Validate(); err == nil {
 		t.Fatal("Validate accepted asymmetric graph")
 	}
@@ -208,6 +208,119 @@ func TestQuickBuildInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// property: the direct-CSR FromEdges path is equivalent to Builder
+// construction (the pre-CSR reference semantics) for any edge-list
+// permutation and orientation: identical Neighbors, HasEdge, Edges,
+// and Fingerprint.
+func TestQuickFromEdgesPermutationInvariant(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN%40) + 2
+		// candidate edges with self-loops, duplicates, and out-of-range
+		// endpoints mixed in — all must be dropped identically
+		edges := make([]Edge, 0, 4*n)
+		for i := 0; i < 4*n; i++ {
+			u := int32(rng.Intn(n+2) - 1) // may be -1 or n (out of range)
+			v := int32(rng.Intn(n+2) - 1)
+			edges = append(edges, Edge{U: u, V: v})
+		}
+		b := NewBuilder(n)
+		for _, e := range edges {
+			_ = b.AddEdge(e.U, e.V)
+		}
+		ref := b.Build()
+
+		perm := append([]Edge(nil), edges...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for i := range perm {
+			if rng.Intn(2) == 0 { // random orientation
+				perm[i].U, perm[i].V = perm[i].V, perm[i].U
+			}
+		}
+		g := FromEdges(n, perm)
+
+		if g.Validate() != nil || g.N() != ref.N() || g.M() != ref.M() {
+			return false
+		}
+		if g.Fingerprint() != ref.Fingerprint() {
+			return false
+		}
+		for u := int32(0); int(u) < n; u++ {
+			a, c := g.Neighbors(u), ref.Neighbors(u)
+			if len(a) != len(c) {
+				return false
+			}
+			for i := range a {
+				if a[i] != c[i] {
+					return false
+				}
+			}
+			for v := int32(0); int(v) < n; v++ {
+				if g.HasEdge(u, v) != ref.HasEdge(u, v) {
+					return false
+				}
+			}
+		}
+		ge, re := g.Edges(), ref.Edges()
+		if len(ge) != len(re) {
+			return false
+		}
+		for i := range ge {
+			if ge[i] != re[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// EdgesAppend and EdgeSeq must agree with Edges, and EdgesAppend must
+// extend the destination in place.
+func TestEdgesAppendAndSeq(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}})
+	want := g.Edges()
+
+	buf := make([]Edge, 0, 16)
+	buf = append(buf, Edge{U: 9, V: 9}) // sentinel prefix preserved
+	got := g.EdgesAppend(buf)
+	if len(got) != len(want)+1 || got[0] != (Edge{U: 9, V: 9}) {
+		t.Fatalf("EdgesAppend broke the destination prefix: %v", got)
+	}
+	for i, e := range want {
+		if got[i+1] != e {
+			t.Fatalf("EdgesAppend[%d] = %v, want %v", i+1, got[i+1], e)
+		}
+	}
+
+	var seq []Edge
+	for e := range g.EdgeSeq() {
+		seq = append(seq, e)
+	}
+	if len(seq) != len(want) {
+		t.Fatalf("EdgeSeq yielded %d edges, want %d", len(seq), len(want))
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("EdgeSeq[%d] = %v, want %v", i, seq[i], want[i])
+		}
+	}
+
+	// early break must not panic or over-yield
+	count := 0
+	for range g.EdgeSeq() {
+		count++
+		if count == 2 {
+			break
+		}
+	}
+	if count != 2 {
+		t.Fatalf("EdgeSeq early break yielded %d", count)
 	}
 }
 

@@ -15,7 +15,8 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.N(), g.M()); err != nil {
 		return err
 	}
-	for _, e := range g.Edges() {
+	for e := range g.EdgeSeq() {
+		// errors are sticky on the bufio.Writer; Flush reports the first
 		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
 			return err
 		}

@@ -1,0 +1,139 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Do must complete all queued work with any budget, including nil and
+// zero-token budgets.
+func TestDoDrainsQueue(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		budget *Budget
+		extra  int
+	}{
+		{"nil budget", nil, 3},
+		{"zero tokens", NewBudget(0), 3},
+		{"no extra", NewBudget(8), 0},
+		{"tokens", NewBudget(4), 4},
+		{"more extra than tokens", NewBudget(1), 16},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const items = 1000
+			var next, processed atomic.Int64
+			tc.budget.Do(tc.extra, func() {
+				for {
+					i := next.Add(1) - 1
+					if i >= items {
+						return
+					}
+					processed.Add(1)
+				}
+			})
+			if got := processed.Load(); got != items {
+				t.Fatalf("processed %d items, want %d", got, items)
+			}
+		})
+	}
+}
+
+// Queue must hand out every index exactly once across concurrent workers.
+func TestQueueHandsOutEachIndexOnce(t *testing.T) {
+	const n = 5000
+	claim := Queue(n)
+	seen := make([]atomic.Int64, n)
+	NewBudget(4).Do(7, func() {
+		for i, ok := claim(); ok; i, ok = claim() {
+			seen[i].Add(1)
+		}
+	})
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("index %d claimed %d times", i, c)
+		}
+	}
+	if i, ok := claim(); ok {
+		t.Fatalf("drained queue still handed out %d", i)
+	}
+}
+
+// Concurrency across nested Do calls must never exceed callers + tokens.
+func TestDoBoundsConcurrency(t *testing.T) {
+	const tokens = 2
+	b := NewBudget(tokens)
+	var cur, peak atomic.Int64
+	body := func() {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		for i := 0; i < 1000; i++ {
+			_ = i * i
+		}
+		cur.Add(-1)
+	}
+	// two independent callers share the budget concurrently
+	var wg sync.WaitGroup
+	for caller := 0; caller < 2; caller++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				b.Do(8, body)
+			}
+		}()
+	}
+	wg.Wait()
+	// 2 callers + 2 tokens = at most 4 concurrent workers
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("peak concurrency %d exceeds callers+tokens = 4", p)
+	}
+}
+
+// A token released by one layer must be claimable by another running Do.
+func TestDoTokenFlowsBetweenCallers(t *testing.T) {
+	b := NewBudget(1)
+	var helped atomic.Bool
+	release := make(chan struct{})
+
+	// first caller's helper holds the single token until released
+	var wg sync.WaitGroup
+	wg.Add(1)
+	started := make(chan struct{}, 2)
+	go func() {
+		defer wg.Done()
+		var once sync.Once
+		b.Do(1, func() {
+			started <- struct{}{}
+			once.Do(func() { <-release })
+		})
+	}()
+	<-started // a worker of caller 1 is running
+
+	// second caller: its own goroutine plus (eventually) the freed token
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var workers atomic.Int64
+		var block sync.WaitGroup
+		block.Add(1)
+		b.Do(1, func() {
+			if workers.Add(1) == 1 {
+				close(release) // free caller 1's token, then wait for helper
+				block.Wait()
+			} else {
+				helped.Store(true)
+				block.Done()
+			}
+		})
+	}()
+	wg.Wait()
+	if !helped.Load() {
+		t.Fatal("released token was not claimed by the second caller's helper")
+	}
+}

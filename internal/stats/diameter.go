@@ -92,9 +92,8 @@ func bfsFarthest(g *graph.Graph, s int32) ([]int32, int32) {
 	queue := make([]int32, 0, n)
 	queue = append(queue, s)
 	far := s
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		if dist[u] > dist[far] {
 			far = u
 		}

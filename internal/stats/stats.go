@@ -12,8 +12,13 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"pgb/internal/graph"
+	"pgb/internal/par"
 )
 
 // NumNodes is query Q1: |V|. PGB counts non-isolated nodes, since synthetic
@@ -34,17 +39,67 @@ func NumEdges(g *graph.Graph) float64 { return float64(g.M()) }
 
 // Triangles is query Q3: the number of triangles, computed by forward
 // neighbor-intersection over the degree-ordered orientation, O(m^{3/2}).
-func Triangles(g *graph.Graph) float64 {
+func Triangles(g *graph.Graph) float64 { return TrianglesParallel(g, 1, nil) }
+
+// TrianglesParallel is Triangles sharded over contiguous node ranges on
+// up to workers goroutines (0 selects GOMAXPROCS); helper workers beyond
+// the calling goroutine are drawn from budget when non-nil (the shared
+// allowance of DESIGN.md §2). The result is bit-identical at every
+// worker count: each shard contributes an exact integer count and
+// integer addition is order-free.
+func TrianglesParallel(g *graph.Graph, workers int, budget *par.Budget) float64 {
 	n := g.N()
-	// Order nodes by (degree, id); orient each edge from lower to higher
-	// rank so every triangle is counted exactly once.
-	rank := make([]int32, n)
-	order := make([]int32, n)
-	for i := range order {
-		order[i] = int32(i)
+	if n == 0 {
+		return 0
 	}
+	rank := degreeRank(g)
+	// forward CSR: higher-rank neighbors only, flat arena like the graph
+	// itself so shard scans stay contiguous
+	fwdOff := make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		c := int64(0)
+		for _, v := range g.Neighbors(int32(u)) {
+			if rank[v] > rank[u] {
+				c++
+			}
+		}
+		fwdOff[u+1] = fwdOff[u] + c
+	}
+	fwdNbr := make([]int32, fwdOff[n])
+	for u := 0; u < n; u++ {
+		w := fwdOff[u]
+		for _, v := range g.Neighbors(int32(u)) {
+			if rank[v] > rank[u] {
+				fwdNbr[w] = v
+				w++
+			}
+		}
+	}
+	workers = normWorkers(workers, n)
+	if workers == 1 {
+		return float64(countFwdTriangles(fwdOff, fwdNbr, 0, n, make([]bool, n)))
+	}
+	chunks := chunkByMass(fwdOff, 8*workers)
+	claim := par.Queue(len(chunks) - 1)
+	var total atomic.Int64
+	budget.Do(workers-1, func() {
+		mark := make([]bool, n)
+		local := int64(0)
+		for i, ok := claim(); ok; i, ok = claim() {
+			local += countFwdTriangles(fwdOff, fwdNbr, chunks[i], chunks[i+1], mark)
+		}
+		total.Add(local)
+	})
+	return float64(total.Load())
+}
+
+// degreeRank orders nodes by (degree, id) via counting sort and returns
+// the rank per node — the orientation that makes every triangle counted
+// exactly once by forward intersection.
+func degreeRank(g *graph.Graph) []int32 {
+	n := g.N()
+	rank := make([]int32, n)
 	deg := g.Degrees()
-	// counting sort by degree for O(n + m)
 	maxD := 0
 	for _, d := range deg {
 		if d > maxD {
@@ -62,33 +117,70 @@ func Triangles(g *graph.Graph) float64 {
 			r++
 		}
 	}
-	// forward adjacency: higher-rank neighbors only
-	fwd := make([][]int32, n)
-	for u := 0; u < n; u++ {
-		for _, v := range g.Neighbors(int32(u)) {
-			if rank[v] > rank[u] {
-				fwd[u] = append(fwd[u], v)
-			}
+	return rank
+}
+
+// countFwdTriangles counts triangles rooted at nodes [lo, hi) of the
+// forward adjacency. mark is caller-owned scratch of length n, false on
+// entry and on return.
+func countFwdTriangles(off []int64, nbr []int32, lo, hi int, mark []bool) int64 {
+	count := int64(0)
+	for u := lo; u < hi; u++ {
+		fu := nbr[off[u]:off[u+1]]
+		if len(fu) == 0 {
+			continue
 		}
-	}
-	count := 0.0
-	mark := make([]bool, n)
-	for u := 0; u < n; u++ {
-		for _, v := range fwd[u] {
+		for _, v := range fu {
 			mark[v] = true
 		}
-		for _, v := range fwd[u] {
-			for _, w := range fwd[v] {
+		for _, v := range fu {
+			for _, w := range nbr[off[v]:off[v+1]] {
 				if mark[w] {
 					count++
 				}
 			}
 		}
-		for _, v := range fwd[u] {
+		for _, v := range fu {
 			mark[v] = false
 		}
 	}
 	return count
+}
+
+// normWorkers resolves a worker request against the amount of work:
+// 0 (or negative) selects GOMAXPROCS, and the count never exceeds items.
+func normWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// chunkByMass splits [0, len(off)-1) into up to k contiguous ranges of
+// roughly equal cumulative mass (off is a prefix-sum table, e.g. CSR
+// offsets). Returned boundaries are strictly increasing and bracket the
+// full range. Chunking is a pure function of off and k — never of
+// scheduling — so shard assignment cannot affect results.
+func chunkByMass(off []int64, k int) []int {
+	n := len(off) - 1
+	if k < 1 {
+		k = 1
+	}
+	bounds := []int{0}
+	for i := 1; i < k; i++ {
+		target := off[n] * int64(i) / int64(k)
+		j := sort.Search(n, func(j int) bool { return off[j] >= target })
+		if j > bounds[len(bounds)-1] && j < n {
+			bounds = append(bounds, j)
+		}
+	}
+	return append(bounds, n)
 }
 
 // AvgDegree is query Q4: 2m/n.
@@ -146,7 +238,15 @@ type DistanceStats struct {
 // ExactDistances runs BFS from every node: O(nm). Suitable for graphs up
 // to a few thousand nodes.
 func ExactDistances(g *graph.Graph) DistanceStats {
-	return bfsDistances(g, nil)
+	return ExactDistancesParallel(g, 1, nil)
+}
+
+// ExactDistancesParallel is ExactDistances with the BFS sources spread
+// over up to workers goroutines (0 selects GOMAXPROCS; helpers come
+// from budget when non-nil). Bit-identical to serial at every worker
+// count — see bfsDistances.
+func ExactDistancesParallel(g *graph.Graph, workers int, budget *par.Budget) DistanceStats {
+	return bfsDistances(g, nil, workers, budget)
 }
 
 // SampledDistances estimates the path queries by running BFS from a
@@ -154,28 +254,47 @@ func ExactDistances(g *graph.Graph) DistanceStats {
 // eccentricity over sampled sources (a lower bound, standard practice for
 // large-graph benchmarking).
 func SampledDistances(g *graph.Graph, samples int, rng *rand.Rand) DistanceStats {
+	return SampledDistancesParallel(g, samples, rng, 1, nil)
+}
+
+// SampledDistancesParallel is SampledDistances on a bounded worker pool.
+// The source sample is drawn from rng before any parallel work starts,
+// so rng consumption — and therefore the result — is identical at every
+// worker count.
+func SampledDistancesParallel(g *graph.Graph, samples int, rng *rand.Rand, workers int, budget *par.Budget) DistanceStats {
 	n := g.N()
 	if samples >= n {
-		return ExactDistances(g)
+		return ExactDistancesParallel(g, workers, budget)
 	}
 	perm := rng.Perm(n)
 	sources := make([]int32, samples)
 	for i := 0; i < samples; i++ {
 		sources[i] = int32(perm[i])
 	}
-	return bfsDistances(g, sources)
+	return bfsDistances(g, sources, workers, budget)
 }
 
 // Distances picks exact computation for small graphs and sampling above
 // the threshold, matching the harness defaults.
 func Distances(g *graph.Graph, exactLimit, samples int, rng *rand.Rand) DistanceStats {
-	if g.N() <= exactLimit {
-		return ExactDistances(g)
-	}
-	return SampledDistances(g, samples, rng)
+	return DistancesParallel(g, exactLimit, samples, rng, 1, nil)
 }
 
-func bfsDistances(g *graph.Graph, sources []int32) DistanceStats {
+// DistancesParallel is Distances on a bounded worker pool sharing budget.
+func DistancesParallel(g *graph.Graph, exactLimit, samples int, rng *rand.Rand, workers int, budget *par.Budget) DistanceStats {
+	if g.N() <= exactLimit {
+		return ExactDistancesParallel(g, workers, budget)
+	}
+	return SampledDistancesParallel(g, samples, rng, workers, budget)
+}
+
+// bfsDistances runs one BFS per source on up to workers goroutines.
+// Worker-count invariance (DESIGN.md §2): every accumulator is an exact
+// integer — max eccentricity, pair count, distance-sum, histogram — and
+// integer max/sum are order-free, so merging per-worker partials yields
+// the same totals as the serial sweep, and the final floating-point
+// divisions see identical operands.
+func bfsDistances(g *graph.Graph, sources []int32, workers int, budget *par.Budget) DistanceStats {
 	n := g.N()
 	if n == 0 {
 		return DistanceStats{}
@@ -186,54 +305,77 @@ func bfsDistances(g *graph.Graph, sources []int32) DistanceStats {
 			sources[i] = int32(i)
 		}
 	}
-	dist := make([]int32, n)
-	queue := make([]int32, 0, n)
+	workers = normWorkers(workers, len(sources))
 	var (
+		mu       sync.Mutex
 		maxDist  int32
-		sumDist  float64
-		numPairs float64
+		sumDist  int64
+		numPairs int64
 		hist     []int64
 	)
-	for _, s := range sources {
-		for i := range dist {
-			dist[i] = -1
-		}
-		dist[s] = 0
-		queue = queue[:0]
-		queue = append(queue, s)
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			du := dist[u]
-			for _, v := range g.Neighbors(u) {
-				if dist[v] < 0 {
-					dist[v] = du + 1
-					queue = append(queue, v)
+	claim := par.Queue(len(sources))
+	budget.Do(workers-1, func() {
+		dist := make([]int32, n)
+		queue := make([]int32, 0, n)
+		var lmax int32
+		var lsum, lpairs int64
+		var lhist []int64
+		for i, ok := claim(); ok; i, ok = claim() {
+			s := sources[i]
+			for j := range dist {
+				dist[j] = -1
+			}
+			dist[s] = 0
+			// head-indexed FIFO: re-slicing queue[1:] would shed capacity
+			// and reallocate every sweep
+			queue = queue[:0]
+			queue = append(queue, s)
+			for head := 0; head < len(queue); head++ {
+				u := queue[head]
+				du := dist[u]
+				for _, v := range g.Neighbors(u) {
+					if dist[v] < 0 {
+						dist[v] = du + 1
+						queue = append(queue, v)
+					}
 				}
 			}
+			for u := 0; u < n; u++ {
+				d := dist[u]
+				if d <= 0 {
+					continue // unreachable or self
+				}
+				if d > lmax {
+					lmax = d
+				}
+				lsum += int64(d)
+				lpairs++
+				for int(d) >= len(lhist) {
+					lhist = append(lhist, 0)
+				}
+				lhist[d]++
+			}
 		}
-		for u := 0; u < n; u++ {
-			d := dist[u]
-			if d <= 0 {
-				continue // unreachable or self
-			}
-			if d > maxDist {
-				maxDist = d
-			}
-			sumDist += float64(d)
-			numPairs++
-			for int(d) >= len(hist) {
-				hist = append(hist, 0)
-			}
-			hist[d]++
+		mu.Lock()
+		if lmax > maxDist {
+			maxDist = lmax
 		}
-	}
+		sumDist += lsum
+		numPairs += lpairs
+		for len(hist) < len(lhist) {
+			hist = append(hist, 0)
+		}
+		for i, c := range lhist {
+			hist[i] += c
+		}
+		mu.Unlock()
+	})
 	st := DistanceStats{Diameter: float64(maxDist)}
 	if numPairs > 0 {
-		st.AvgPath = sumDist / numPairs
+		st.AvgPath = float64(sumDist) / float64(numPairs)
 		st.Distribution = make([]float64, len(hist))
 		for i, c := range hist {
-			st.Distribution[i] = float64(c) / numPairs
+			st.Distribution[i] = float64(c) / float64(numPairs)
 		}
 	}
 	return st
@@ -271,10 +413,39 @@ func GlobalClustering(g *graph.Graph) float64 {
 // LocalClustering returns the per-node clustering coefficient C_i =
 // e_i / C(d_i, 2); nodes with degree < 2 have C_i = 0.
 func LocalClustering(g *graph.Graph) []float64 {
+	return LocalClusteringParallel(g, 1, nil)
+}
+
+// LocalClusteringParallel is LocalClustering sharded over node ranges.
+// Each C_i is a pure per-node function written to its own slot, so the
+// vector is bit-identical at every worker count.
+func LocalClusteringParallel(g *graph.Graph, workers int, budget *par.Budget) []float64 {
 	n := g.N()
 	cc := make([]float64, n)
-	mark := make([]bool, n)
-	for u := 0; u < n; u++ {
+	if n == 0 {
+		return cc
+	}
+	workers = normWorkers(workers, n)
+	if workers == 1 {
+		localClusteringRange(g, 0, n, make([]bool, n), cc)
+		return cc
+	}
+	// the graph's own CSR offsets are exactly the degree prefix sums
+	chunks := chunkByMass(g.Offsets(), 8*workers)
+	claim := par.Queue(len(chunks) - 1)
+	budget.Do(workers-1, func() {
+		mark := make([]bool, n)
+		for i, ok := claim(); ok; i, ok = claim() {
+			localClusteringRange(g, chunks[i], chunks[i+1], mark, cc)
+		}
+	})
+	return cc
+}
+
+// localClusteringRange fills cc[lo:hi]. mark is caller-owned scratch of
+// length n, false on entry and on return.
+func localClusteringRange(g *graph.Graph, lo, hi int, mark []bool, cc []float64) {
+	for u := lo; u < hi; u++ {
 		nb := g.Neighbors(int32(u))
 		d := len(nb)
 		if d < 2 {
@@ -296,16 +467,22 @@ func LocalClustering(g *graph.Graph) []float64 {
 		}
 		cc[u] = 2 * float64(links) / (float64(d) * float64(d-1))
 	}
-	return cc
 }
 
 // AvgClustering is query Q11: the mean of the local clustering
 // coefficients (Watts-Strogatz ACC).
 func AvgClustering(g *graph.Graph) float64 {
+	return AvgClusteringParallel(g, 1, nil)
+}
+
+// AvgClusteringParallel computes the local coefficients in parallel and
+// reduces them serially in node order, so the floating-point sum — and
+// the mean — is bit-identical to the serial computation.
+func AvgClusteringParallel(g *graph.Graph, workers int, budget *par.Budget) float64 {
 	if g.N() == 0 {
 		return 0
 	}
-	cc := LocalClustering(g)
+	cc := LocalClusteringParallel(g, workers, budget)
 	s := 0.0
 	for _, c := range cc {
 		s += c

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"pgb/internal/graph"
+	"pgb/internal/par"
 )
 
 func rng() *rand.Rand { return rand.New(rand.NewSource(7)) }
@@ -237,6 +238,84 @@ func TestEigenvectorCentralityEmpty(t *testing.T) {
 	evc := EigenvectorCentrality(graph.New(3), 10, 0)
 	if len(evc) != 3 {
 		t.Fatalf("len = %d", len(evc))
+	}
+}
+
+// randomGraph builds a moderately sized graph with both clustered and
+// heavy-tail structure so parallel shards are non-trivial.
+func randomGraph(seed int64, n int) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < 4*n; i++ {
+		_ = b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	// plant some triangles so the triangle kernel has real work
+	for i := 0; i < n/2; i++ {
+		u, v, w := int32(r.Intn(n)), int32(r.Intn(n)), int32(r.Intn(n))
+		_ = b.AddEdge(u, v)
+		_ = b.AddEdge(v, w)
+		_ = b.AddEdge(u, w)
+	}
+	return b.Build()
+}
+
+// Parallel triangle counting and clustering must be bit-identical to
+// serial at every worker count, with and without a shared budget
+// (the DESIGN.md §2 kernel determinism contract).
+func TestTrianglesAndClusteringParallelMatchSerial(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := randomGraph(seed, 300)
+		wantTri := Triangles(g)
+		wantCC := LocalClustering(g)
+		wantACC := AvgClustering(g)
+		for _, workers := range []int{1, 2, 8} {
+			for _, budget := range []*par.Budget{nil, par.NewBudget(workers - 1)} {
+				if got := TrianglesParallel(g, workers, budget); got != wantTri {
+					t.Fatalf("seed %d workers %d: triangles %g != serial %g", seed, workers, got, wantTri)
+				}
+				cc := LocalClusteringParallel(g, workers, budget)
+				for u := range cc {
+					if cc[u] != wantCC[u] {
+						t.Fatalf("seed %d workers %d: cc[%d] %g != serial %g", seed, workers, u, cc[u], wantCC[u])
+					}
+				}
+				if got := AvgClusteringParallel(g, workers, budget); got != wantACC {
+					t.Fatalf("seed %d workers %d: ACC %g != serial %g", seed, workers, got, wantACC)
+				}
+			}
+		}
+	}
+}
+
+// Parallel BFS sweeps (exact and sampled) must be bit-identical to
+// serial at every worker count, including the distance distribution.
+func TestDistancesParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{4, 5} {
+		g := randomGraph(seed, 250)
+		wantExact := ExactDistances(g)
+		wantSampled := SampledDistances(g, 40, rand.New(rand.NewSource(99)))
+		for _, workers := range []int{1, 2, 8} {
+			got := ExactDistancesParallel(g, workers, nil)
+			assertDistanceStatsEqual(t, "exact", workers, got, wantExact)
+			got = SampledDistancesParallel(g, 40, rand.New(rand.NewSource(99)), workers, par.NewBudget(workers-1))
+			assertDistanceStatsEqual(t, "sampled", workers, got, wantSampled)
+		}
+	}
+}
+
+func assertDistanceStatsEqual(t *testing.T, mode string, workers int, got, want DistanceStats) {
+	t.Helper()
+	if got.Diameter != want.Diameter || got.AvgPath != want.AvgPath {
+		t.Fatalf("%s workers %d: (diam, avg) = (%g, %g), want (%g, %g)",
+			mode, workers, got.Diameter, got.AvgPath, want.Diameter, want.AvgPath)
+	}
+	if len(got.Distribution) != len(want.Distribution) {
+		t.Fatalf("%s workers %d: distribution length %d != %d", mode, workers, len(got.Distribution), len(want.Distribution))
+	}
+	for i := range got.Distribution {
+		if got.Distribution[i] != want.Distribution[i] {
+			t.Fatalf("%s workers %d: distribution[%d] %g != %g", mode, workers, i, got.Distribution[i], want.Distribution[i])
+		}
 	}
 }
 

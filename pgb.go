@@ -224,10 +224,13 @@ func Queries() []string {
 // paper's full grid (six algorithms × eight datasets × six budgets × ten
 // repetitions at full dataset size).
 //
-// Two fields control execution rather than values: Workers bounds the
-// number of grid cells computed concurrently (0 = GOMAXPROCS; cell
+// Two fields control execution rather than values: Workers is the run's
+// single parallelism budget — it bounds the grid cells computed
+// concurrently and the sharded triangle/BFS kernel workers inside each
+// cell's profile, which share one allowance (0 = GOMAXPROCS; cell
 // values are identical at any worker count, because every cell seeds
-// its RNG streams from its own coordinates), and CheckpointPath streams
+// its RNG streams from its own coordinates and the kernels are
+// worker-count-invariant, DESIGN.md §2) — and CheckpointPath streams
 // each finished cell to a durable JSONL run manifest so an interrupted
 // run can be resumed — by calling RunBenchmark again with the same
 // configuration and path, or in one call with Resume.
