@@ -19,6 +19,7 @@
 //	BenchmarkPrivGraphSplit    — PrivGraph budget-split ablation
 //	BenchmarkPrivHRGMCMC       — PrivHRG MCMC-length ablation
 //	BenchmarkDatasets          — dataset stand-in generation cost
+//	BenchmarkServerCompare     — one end-to-end pgb serve /v1/compare request
 //
 // Benchmarks use scaled-down datasets (bench scale 0.05–0.1) so the suite
 // completes in minutes; the cmd/pgb harness runs the same code at any
@@ -26,8 +27,13 @@
 package pgb_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"pgb"
@@ -40,6 +46,7 @@ import (
 	"pgb/internal/datasets"
 	"pgb/internal/gen"
 	"pgb/internal/graph"
+	"pgb/internal/server"
 	"pgb/internal/stats"
 )
 
@@ -360,5 +367,49 @@ func BenchmarkDatasets(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkServerCompare measures one end-to-end pgb serve comparison
+// request: HTTP round trip, JSON graph decode, profile computation, and
+// response encoding. Each iteration uses a fresh seed so the server's
+// content-addressed result cache cannot short-circuit the work being
+// measured; part of the CI pinned subset (README "Benchmarking in CI").
+func BenchmarkServerCompare(b *testing.B) {
+	srv, err := server.New(server.Options{DataDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	truth := benchGraph(b, "ER")
+	alg, err := core.NewAlgorithm("TmF")
+	if err != nil {
+		b.Fatal(err)
+	}
+	syn, err := alg.Generate(truth, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	synJSON, err := json.Marshal(syn)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"truth":{"dataset":"ER","scale":%g,"seed":42},"synthetic":{"graph":%s},"seed":%d,"queries":["|E|","GCC","d_avg","Tri"]}`,
+			benchScale, synJSON, i)
+		resp, err := http.Post(ts.URL+"/v1/compare", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			b.Fatalf("compare status %d: %s", resp.StatusCode, data)
+		}
 	}
 }

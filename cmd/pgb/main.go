@@ -11,6 +11,8 @@
 //	pgb fig7     [flags]             Fig. 7    (DER comparison)
 //	pgb verify   -alg {dpdk,tmf,privskg}   appendix verification
 //	pgb generate -alg A -dataset D -eps E  one synthetic graph to stdout
+//	pgb serve    -addr :8080 -data DIR     benchmark-as-a-service HTTP API
+//	pgb version                            build identification
 //
 // Common flags: -scale (dataset size factor, default 0.1), -reps
 // (repetitions per cell, default 3), -seed, -eps (comma list), -algs,
@@ -60,6 +62,10 @@ func main() {
 		err = cmdAblation(args)
 	case "ldp":
 		err = cmdLDP(args)
+	case "serve":
+		err = cmdServe(args)
+	case "version":
+		cmdVersion()
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -99,6 +105,10 @@ commands:
   types       best counts aggregated by graph domain (Table II taxonomy)
   recommend   mechanism selection guidelines for a scenario
               (-nodes N -acc A -eps E [-queries CD,Mod] [-measured])
+  serve       benchmark-as-a-service HTTP API (-addr :8080 -data DIR
+              -jobs N); async grid runs with SSE progress, cancellation,
+              result caching, and crash recovery from run manifests
+  version     print the build identification (also GET /version)
 
 grid commands accept -jobs N (parallel cells), -checkpoint FILE (durable
 JSONL run manifest; rerun with the same path to resume) and -resume FILE

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -322,9 +323,29 @@ func CheckpointConfig(path string) (Config, error) {
 // complete recomputes nothing — dataset graphs are regenerated only for
 // their summary statistics.
 func Resume(path string) (*Results, error) {
+	return ResumeContext(context.Background(), path)
+}
+
+// ResumeContext is Resume under a cancellation context: the resumed run
+// stops between cells once ctx is done (Config.Context semantics), so a
+// recovery pass itself can be interrupted and later resumed from the
+// same manifest.
+func ResumeContext(ctx context.Context, path string) (*Results, error) {
 	cfg, err := CheckpointConfig(path)
 	if err != nil {
 		return nil, err
 	}
+	cfg.Context = ctx
 	return Run(cfg)
+}
+
+// ConfigDigest returns the run-configuration fingerprint a manifest for
+// cfg would carry: an FNV-64a hash over every normalized field that
+// affects cell values or their layout (grid axes, query order, reps,
+// scale, seed, profile tuning). Workers, Progress, Context, and
+// CheckpointPath are excluded — they change the schedule, never the
+// values — so the digest content-addresses the run's *results*: two
+// configs with equal digests produce identical grids.
+func ConfigDigest(cfg Config) string {
+	return headerFor(cfg.withDefaults()).Digest
 }

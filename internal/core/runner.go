@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -53,6 +54,14 @@ type Config struct {
 	// per loaded dataset). Calls are serialised; the callback needs no
 	// locking of its own.
 	Progress func(string)
+	// Context, when non-nil, cancels the run between grid cells: once it
+	// is done, no further cells are dispatched, in-flight cells finish
+	// (and are checkpointed — a cell is never recorded half-computed),
+	// and Run returns the context's error. Like Progress it is
+	// execution-only: it does not enter the checkpoint digest, so a
+	// cancelled checkpointed run resumes under the same manifest. nil
+	// means the run cannot be cancelled.
+	Context context.Context
 
 	// budget is the run-wide worker allowance Workers resolves to,
 	// created by Run and shared by the cell scheduler and every profile
@@ -87,6 +96,14 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// Normalized returns the configuration with every defaultable field
+// resolved, exactly as Run resolves it: the grid a zero-value field
+// denotes is made explicit (paper algorithms/datasets/budgets/queries,
+// ten repetitions, scale 1, seed 42). Callers that need to reason about
+// a run before executing it — digesting it, sizing its grid — should
+// normalize first so their view matches Run's.
+func (c Config) Normalized() Config { return c.withDefaults() }
 
 // profileOptions is the per-cell profile configuration: the caller's
 // tuning knobs restricted to the selected queries, drawing parallelism
@@ -162,6 +179,10 @@ func (r *Results) Queries() []QueryID {
 // the one-call form.
 func Run(cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// One worker allowance for the whole run: the cell scheduler, the
 	// profile pass pools, and the graph kernels all draw helpers from it
 	// (the calling goroutine is the one worker outside the budget).
@@ -203,6 +224,11 @@ func Run(cfg Config) (*Results, error) {
 	dss := make(map[string]*datasetEntry, len(cfg.Datasets))
 	summaries := make(map[string]datasets.Summary, len(cfg.Datasets))
 	for _, name := range cfg.Datasets {
+		// Dataset generation and the true profile are the expensive
+		// pre-grid work; honour cancellation between datasets too.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: run cancelled: %w", err)
+		}
 		spec, err := datasets.ByName(name)
 		if err != nil {
 			return nil, err
@@ -241,6 +267,13 @@ func Run(cfg Config) (*Results, error) {
 	results := runGrid(cfg, cells, dss, done, onDone, &abort)
 	if writeErr != nil {
 		return nil, fmt.Errorf("core: writing checkpoint %s (run aborted): %w", cfg.CheckpointPath, writeErr)
+	}
+	if err := ctx.Err(); err != nil {
+		// Every cell finished before the cancellation was observed is
+		// already in the manifest (when checkpointing); the run resumes
+		// from there. Partial in-memory results are withheld: a partial
+		// grid would silently skew every best-count aggregation.
+		return nil, fmt.Errorf("core: run cancelled: %w", err)
 	}
 	return &Results{Config: cfg, Cells: results, DatasetSummaries: summaries}, nil
 }

@@ -117,7 +117,14 @@ func runGrid(cfg Config, cells []gridCell, dss map[string]*datasetEntry, done ma
 		}
 	}
 
-	aborted := func() bool { return abort != nil && abort.Load() }
+	// A cancelled Config.Context stops dispatch exactly like a failed
+	// checkpoint write: no new cells start, in-flight cells run to
+	// completion (and reach onDone), so the manifest never holds a
+	// half-computed cell.
+	ctx := cfg.Context
+	aborted := func() bool {
+		return (abort != nil && abort.Load()) || (ctx != nil && ctx.Err() != nil)
+	}
 
 	claim := par.Queue(len(pending))
 	cfg.budget.Do(workers-1, func() {

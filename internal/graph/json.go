@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// json.go is the graph-over-the-wire codec used by the pgb serve HTTP
+// API (DESIGN.md §9). The format is a compact JSON edge list,
+//
+//	{"n": 5, "edges": [0,1, 0,2, 3,4]}
+//
+// with the m edges flattened into a single 2m-integer array — half the
+// JSON tokens of a [[u,v], ...] pair encoding, and friendly to
+// streaming encoders on both sides. Edges may appear in any orientation
+// and order; decoding canonicalizes, sorts, and dedups exactly like
+// FromEdges, so Marshal∘Unmarshal is the identity on every simple
+// graph and the decoded graph's Fingerprint is orientation- and
+// order-independent.
+
+// jsonGraph is the wire schema.
+type jsonGraph struct {
+	N     int     `json:"n"`
+	Edges []int32 `json:"edges"`
+}
+
+// MaxJSONNodes caps the node count a decoded wire graph may declare.
+// FromEdges allocates ~16 bytes per node up front, so without a bound a
+// few-byte payload ({"n":2e9,"edges":[]}) would force multi-gigabyte
+// allocations — a one-request OOM against pgb serve. 2^23 (~8.4M nodes,
+// ~134 MB of CSR offsets) is two orders of magnitude above the paper's
+// largest graph while keeping the worst-case allocation survivable.
+const MaxJSONNodes = 1 << 23
+
+// MarshalJSON encodes the graph as {"n": N, "edges": [u0,v0, u1,v1, ...]}
+// with edges in canonical orientation (u < v), ordered by u then v.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	flat := make([]int32, 0, 2*g.m)
+	for e := range g.EdgeSeq() {
+		flat = append(flat, e.U, e.V)
+	}
+	return json.Marshal(jsonGraph{N: g.n, Edges: flat})
+}
+
+// UnmarshalJSON decodes the wire format written by MarshalJSON. The edge
+// array must have even length and every endpoint must lie in [0, n) —
+// a malformed payload is an error, never a silently clipped graph.
+// Self-loops and duplicate edges are dropped (the graph type is simple),
+// matching FromEdges.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("graph: decoding JSON graph: %w", err)
+	}
+	if jg.N < 0 {
+		return fmt.Errorf("graph: JSON graph has negative node count %d", jg.N)
+	}
+	if jg.N > MaxJSONNodes {
+		return fmt.Errorf("graph: JSON graph declares %d nodes, above the wire limit %d", jg.N, MaxJSONNodes)
+	}
+	if len(jg.Edges)%2 != 0 {
+		return fmt.Errorf("graph: JSON edge array has odd length %d (want flat [u0,v0,u1,v1,...] pairs)", len(jg.Edges))
+	}
+	edges := make([]Edge, 0, len(jg.Edges)/2)
+	for i := 0; i < len(jg.Edges); i += 2 {
+		u, v := jg.Edges[i], jg.Edges[i+1]
+		if u < 0 || v < 0 || int(u) >= jg.N || int(v) >= jg.N {
+			return fmt.Errorf("graph: edge (%d, %d) outside node range [0, %d)", u, v, jg.N)
+		}
+		edges = append(edges, Canon(u, v))
+	}
+	*g = *FromEdges(jg.N, edges)
+	return nil
+}

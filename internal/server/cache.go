@@ -1,0 +1,71 @@
+package server
+
+import "sync"
+
+// cache.go is the content-addressed result cache behind the service's
+// "identical submissions return instantly" contract (DESIGN.md §9.3).
+// Keys are request digests — core.ConfigDigest for grid runs, a
+// fingerprint tuple for comparisons — so the cache addresses *results*:
+// any two requests with equal keys would compute identical values, and
+// schedule-only knobs (workers, checkpoint paths) never fragment it.
+
+// resultCache is a small mutex-guarded LRU. Values are immutable once
+// inserted (callers must treat them as read-only, like the core profile
+// cache).
+type resultCache struct {
+	mu      sync.Mutex
+	limit   int
+	entries map[string]any
+	order   []string // oldest first
+}
+
+func newResultCache(limit int) *resultCache {
+	if limit < 1 {
+		limit = 1
+	}
+	return &resultCache{limit: limit, entries: make(map[string]any, limit)}
+}
+
+func (c *resultCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[key]
+	if ok {
+		c.touch(key)
+	}
+	return v, ok
+}
+
+func (c *resultCache) put(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = v
+		c.touch(key)
+		return
+	}
+	if len(c.order) >= c.limit {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = v
+	c.order = append(c.order, key)
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// touch moves key to the most-recently-used end; the caller holds mu.
+func (c *resultCache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = key
+			return
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package server
+
+import "runtime/debug"
+
+// VersionInfo identifies the running build — served on GET /version and
+// printed by `pgb version` — so deployments and CI can tell exactly
+// which binary answered.
+type VersionInfo struct {
+	// Version is the main module version ("(devel)" for local builds).
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version,omitempty"`
+	// Revision and BuildTime come from the VCS stamp, when the binary
+	// was built inside a checkout.
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	// Dirty marks a build from a checkout with uncommitted changes.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// Version reports the build information of the current binary via
+// runtime/debug.ReadBuildInfo. It never fails: binaries built without
+// module support just report "(devel)".
+func Version() VersionInfo {
+	v := VersionInfo{Version: "(devel)"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	if bi.Main.Version != "" {
+		v.Version = bi.Main.Version
+	}
+	v.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			v.Revision = s.Value
+		case "vcs.time":
+			v.BuildTime = s.Value
+		case "vcs.modified":
+			v.Dirty = s.Value == "true"
+		}
+	}
+	return v
+}

@@ -87,6 +87,19 @@ func LoadDataset(name string, scale float64, seed int64) (*Graph, error) {
 // g with total privacy budget eps, deterministically in seed. The
 // returned graph spans the same node universe as g and the call satisfies
 // ε-Edge-CDP (or (ε, δ=0.01) for DP-dK and PrivSKG).
+//
+// Seeding contract: each call constructs a private generator,
+// rand.New(rand.NewSource(seed)), consumed sequentially by the
+// algorithm — so the result is a pure function of (algorithm, g, eps,
+// seed), and concurrent Generate calls (e.g. simultaneous pgb serve
+// requests) never share RNG state. This is deliberately different from
+// the benchmark grid, which derives independent SplitMix64 sub-seed
+// streams per (cell, repetition, profile) via core.SubSeed so that no
+// stream's draws depend on how much randomness another consumer used;
+// a single Generate call has no other consumers, so the plain
+// sequential source is the stable, documented behaviour. The two
+// schemes never mix: a grid cell's generation stream is seeded from its
+// own coordinates, not from this function.
 func Generate(algorithm string, g *Graph, eps float64, seed int64) (*Graph, error) {
 	alg, err := core.NewAlgorithm(algorithm)
 	if err != nil {
@@ -234,6 +247,13 @@ func Queries() []string {
 // each finished cell to a durable JSONL run manifest so an interrupted
 // run can be resumed — by calling RunBenchmark again with the same
 // configuration and path, or in one call with Resume.
+//
+// A third execution field, Context, cancels a running grid between
+// cells: no new cells start once the context is done, in-flight cells
+// finish and are checkpointed, and RunBenchmark returns the context's
+// error — resubmitting the same configuration and CheckpointPath later
+// resumes from exactly what completed. The pgb serve job manager is
+// built on this.
 type BenchmarkConfig = core.Config
 
 // BenchmarkResults is the outcome of a benchmark run, with formatters for
