@@ -37,6 +37,7 @@ import (
 	"testing"
 
 	"pgb"
+	"pgb/internal/algo"
 	"pgb/internal/algo/dgg"
 	"pgb/internal/algo/dpdk"
 	"pgb/internal/algo/privgraph"
@@ -81,6 +82,33 @@ func BenchmarkAlgorithms(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkGenerate measures one generation per parallelized algorithm
+// at ε = 1 on a 4k-node BA graph — the per-algorithm unit the CI gate
+// pins (README "Benchmarking in CI") so generator regressions trip it.
+// Generation runs through algo.GenerateWith at the default worker count,
+// exactly as pgb.Generate and the grid runner execute it; outputs are
+// bit-identical to the serial path at any parallelism (DESIGN.md §10),
+// so ns/op and allocs/op are the only things that vary.
+func BenchmarkGenerate(b *testing.B) {
+	g := gen.BarabasiAlbert(4000, 8, rand.New(rand.NewSource(21)))
+	for _, algName := range []string{"LDPGen", "PrivGraph", "PrivHRG", "DP-dK", "TmF"} {
+		b.Run(algName, func(b *testing.B) {
+			alg, err := core.NewAlgorithm(algName)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				if _, err := algo.GenerateWith(alg, g, 1, rng, algo.Params{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

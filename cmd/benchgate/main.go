@@ -117,7 +117,12 @@ func parse(r io.Reader) (*Manifest, error) {
 
 // compare reports regressions of cur against base: benchmarks slower by
 // more than threshold (0.25 = 25%). Benchmarks present on only one side
-// are listed informationally.
+// are record-don't-gate: they are listed per line AND summarised
+// explicitly at the end (so a benchmark added to the pinned CI subset
+// without a baseline entry is visible in every run's output, never
+// silently uncompared), but they do not fail the gate — seeding the
+// baseline from a trusted run's BENCH_PR.json artifact is a separate,
+// deliberate commit.
 func compare(w io.Writer, base, cur *Manifest, threshold float64) (regressions int) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
@@ -125,11 +130,13 @@ func compare(w io.Writer, base, cur *Manifest, threshold float64) (regressions i
 	}
 	sort.Strings(names)
 	fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	var gone []string
 	for _, name := range names {
 		b := base.Benchmarks[name]
 		c, ok := cur.Benchmarks[name]
 		if !ok {
 			fmt.Fprintf(w, "%-44s %14.0f %14s %8s  (missing from current run)\n", name, b.NsPerOp, "-", "-")
+			gone = append(gone, name)
 			continue
 		}
 		ratio := 0.0
@@ -152,6 +159,15 @@ func compare(w io.Writer, base, cur *Manifest, threshold float64) (regressions i
 	sort.Strings(added)
 	for _, name := range added {
 		fmt.Fprintf(w, "%-44s %14s %14.0f %8s  (not in baseline)\n", name, "-", cur.Benchmarks[name].NsPerOp, "-")
+	}
+	if len(added) > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) recorded without a baseline entry (record-don't-gate): %s\n",
+			len(added), strings.Join(added, ", "))
+		fmt.Fprintf(w, "  seed them by copying a trusted run's BENCH_PR.json entries into the committed baseline\n")
+	}
+	if len(gone) > 0 {
+		fmt.Fprintf(w, "%d baseline benchmark(s) missing from the current run (not gated): %s\n",
+			len(gone), strings.Join(gone, ", "))
 	}
 	return regressions
 }

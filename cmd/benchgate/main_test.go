@@ -67,13 +67,35 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		t.Fatalf("regressions = %d, want 1\n%s", n, sb.String())
 	}
 	out := sb.String()
-	for _, want := range []string{"REGRESSION", "missing from current run", "not in baseline"} {
+	for _, want := range []string{
+		"REGRESSION",
+		"missing from current run",
+		"not in baseline",
+		// the explicit record-don't-gate summaries
+		"1 benchmark(s) recorded without a baseline entry (record-don't-gate): BenchmarkNew",
+		"1 baseline benchmark(s) missing from the current run (not gated): BenchmarkGone",
+	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q:\n%s", want, out)
 		}
 	}
 	if strings.Count(out, "REGRESSION") != 1 {
 		t.Fatalf("only BenchmarkB should regress:\n%s", out)
+	}
+}
+
+// A comparison with every benchmark present on both sides must not emit
+// the record-don't-gate summaries.
+func TestCompareNoMissingSummaryWhenAligned(t *testing.T) {
+	m := &Manifest{Schema: schema, Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 100, Samples: 3},
+	}}
+	var sb strings.Builder
+	if n := compare(&sb, m, m, 0.25); n != 0 {
+		t.Fatalf("self-comparison regressed: %d", n)
+	}
+	if strings.Contains(sb.String(), "record-don't-gate") || strings.Contains(sb.String(), "not gated") {
+		t.Fatalf("spurious missing-entry summary:\n%s", sb.String())
 	}
 }
 

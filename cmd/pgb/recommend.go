@@ -21,6 +21,7 @@ func cmdRecommend(args []string) error {
 	measured := fs.Bool("measured", false, "rank from a fresh benchmark run instead of the static rules")
 	scale := fs.Float64("scale", 0.05, "dataset size factor for -measured")
 	seed := fs.Int64("seed", 42, "random seed for -measured")
+	jobs := fs.Int("jobs", 0, "max concurrent grid cells for -measured (0 = GOMAXPROCS); results are identical at any -jobs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -33,7 +34,17 @@ func cmdRecommend(args []string) error {
 		scenario.Queries = qs
 	}
 	if *measured {
-		res, err := core.Run(core.Config{Scale: *scale, Reps: 2, Seed: *seed})
+		// The scaled run is restricted to the scenario: only the queries
+		// the analyst named are evaluated (empty = all fifteen), so the
+		// grid skips every unselected profile pass instead of computing
+		// all query groups and discarding most of them.
+		res, err := core.Run(core.Config{
+			Scale:   *scale,
+			Reps:    2,
+			Seed:    *seed,
+			Queries: scenario.Queries,
+			Workers: *jobs,
+		})
 		if err != nil {
 			return err
 		}

@@ -2,10 +2,12 @@ package pgb_test
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"pgb"
+	"pgb/internal/core"
 )
 
 // determinism_test.go pins the Generate seeding contract documented on
@@ -48,6 +50,39 @@ func TestGenerateDeterministicPerAlgorithm(t *testing.T) {
 			}
 			if c.Fingerprint() == a.Fingerprint() && a.M() > 0 {
 				t.Logf("note: %s produced identical graphs for seeds 7 and 8 (legal but suspicious)", alg)
+			}
+		})
+	}
+}
+
+// TestGenerateMatchesSerialReference: pgb.Generate dispatches the heavy
+// generators through their sharded parallel path at GOMAXPROCS workers
+// (DESIGN.md §10); the seeding contract demands this never shows — the
+// result must equal the fully serial implementation draw for draw. This
+// pins the contract for every algorithm against the serial reference.
+func TestGenerateMatchesSerialReference(t *testing.T) {
+	g, err := pgb.LoadDataset("ER", 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range generateAlgorithms() {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			got, err := pgb.Generate(alg, g, 1.0, 19)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := core.NewAlgorithm(alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.Generate(g, 1.0, rand.New(rand.NewSource(19)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Fingerprint() != want.Fingerprint() {
+				t.Fatalf("pgb.Generate(%s) diverged from the serial reference: %016x vs %016x",
+					alg, got.Fingerprint(), want.Fingerprint())
 			}
 		})
 	}

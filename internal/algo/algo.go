@@ -7,8 +7,10 @@ package algo
 
 import (
 	"math/rand"
+	"runtime"
 
 	"pgb/internal/graph"
+	"pgb/internal/par"
 )
 
 // Generator is a differentially private synthetic-graph generator.
@@ -29,4 +31,65 @@ type Generator interface {
 	// Complexity returns the theoretical time and space complexity
 	// (Table VIII of the paper) as human-readable strings.
 	Complexity() (time, space string)
+}
+
+// Params carries the execution-only knobs of a generation call: how many
+// concurrent shard workers the generator may use and which shared
+// allowance they are drawn from. Params never affects results — the
+// generation layer is worker-count-invariant by construction (DESIGN.md
+// §10): every DP noise and sampling draw comes off the caller's rng in
+// the serial order, and the sharded passes compute deterministic values
+// merged exactly.
+type Params struct {
+	// Workers bounds the concurrent workers of the generator's sharded
+	// passes, including the calling goroutine. 0 selects GOMAXPROCS;
+	// 1 forces the fully serial path.
+	Workers int
+	// Budget, when non-nil, is the externally owned worker allowance
+	// helpers are drawn from — the grid runner threads its one run-wide
+	// budget through cells, profiles, kernels, and generation so the
+	// layers never oversubscribe Config.Workers. nil spawns up to
+	// Workers−1 helpers unconditionally.
+	Budget *par.Budget
+}
+
+// Serial is the Params of the fully serial path — what plain Generate
+// uses.
+var Serial = Params{Workers: 1}
+
+// effectiveWorkers resolves the Workers default.
+func (p Params) effectiveWorkers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn over fixed-grain blocks of [0, n) on up to Workers
+// concurrent goroutines drawn from the params' budget — the sharded-pass
+// primitive of the parallel generators. The decomposition depends only
+// on n and grain, so passes with exact merges are worker-count-invariant.
+func (p Params) ForEach(n, grain int, fn func(lo, hi int)) {
+	par.ForEachBlock(p.Budget, p.effectiveWorkers(), n, grain, fn)
+}
+
+// ParallelGenerator is implemented by generators whose heavy passes are
+// sharded. GenerateParallel is Generate with an explicit worker
+// allowance; its output is bit-identical to Generate's for the same
+// (g, eps, rng seed) at every worker count — parallelism is purely a
+// schedule, never a value change (DESIGN.md §10).
+type ParallelGenerator interface {
+	Generator
+	GenerateParallel(g *graph.Graph, eps float64, rng *rand.Rand, p Params) (*graph.Graph, error)
+}
+
+// GenerateWith runs gen under the given execution params, dispatching to
+// GenerateParallel when the generator shards and falling back to the
+// serial Generate otherwise. The result is a pure function of
+// (gen, g, eps, rng seed) either way.
+func GenerateWith(gen Generator, g *graph.Graph, eps float64, rng *rand.Rand, p Params) (*graph.Graph, error) {
+	if pg, ok := gen.(ParallelGenerator); ok {
+		return pg.GenerateParallel(g, eps, rng, p)
+	}
+	return gen.Generate(g, eps, rng)
 }

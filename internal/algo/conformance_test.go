@@ -14,6 +14,7 @@ import (
 	"pgb/internal/algo/tmf"
 	"pgb/internal/gen"
 	"pgb/internal/graph"
+	"pgb/internal/par"
 )
 
 func generators() []algo.Generator {
@@ -76,6 +77,40 @@ func TestConformanceDeterminism(t *testing.T) {
 			if e1[i] != e2[i] {
 				t.Errorf("%s: non-deterministic edges", a.Name())
 				break
+			}
+		}
+	}
+}
+
+// Parallel execution is a schedule, not a value change: for every
+// generator, GenerateWith at workers 2 and 8 (shared budget included)
+// must produce a valid graph bit-identical to the serial Generate result
+// — the conformance-level statement of the DESIGN.md §10 contract. The
+// graph is deliberately larger than the generators' shardGrain (256),
+// so the sharded passes really decompose into multiple blocks here —
+// a grain-sized graph would silently take the single-block serial path
+// at every worker count.
+func TestConformanceParallelMatchesSerial(t *testing.T) {
+	g := gen.PlantedPartition(700, 4, 0.08, 0.01, rand.New(rand.NewSource(9)))
+	for _, a := range generators() {
+		serial, err := a.Generate(g, 1, rand.New(rand.NewSource(51)))
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		for _, workers := range []int{2, 8} {
+			for _, budget := range []*par.Budget{nil, par.NewBudget(workers - 1)} {
+				syn, err := algo.GenerateWith(a, g, 1, rand.New(rand.NewSource(51)),
+					algo.Params{Workers: workers, Budget: budget})
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", a.Name(), workers, err)
+				}
+				if err := syn.Validate(); err != nil {
+					t.Errorf("%s workers=%d: invalid output: %v", a.Name(), workers, err)
+				}
+				if syn.Fingerprint() != serial.Fingerprint() {
+					t.Errorf("%s workers=%d budget=%v: parallel output diverged from serial",
+						a.Name(), workers, budget != nil)
+				}
 			}
 		}
 	}

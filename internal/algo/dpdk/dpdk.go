@@ -14,12 +14,17 @@ package dpdk
 import (
 	"math"
 	"math/rand"
-	"sort"
+	"sync/atomic"
 
+	"pgb/internal/algo"
 	"pgb/internal/dp"
 	"pgb/internal/gen"
 	"pgb/internal/graph"
 )
+
+// shardGrain is the node-block size of the sharded passes; fixed so the
+// decomposition never depends on the worker count.
+const shardGrain = 256
 
 // Model selects the dK-series order.
 type Model int
@@ -77,28 +82,45 @@ func (d *DPdK) Delta() float64 {
 // Complexity implements algo.Generator (Table VIII).
 func (d *DPdK) Complexity() (string, string) { return "O(n^2)", "O(n^2)" }
 
-// Generate implements algo.Generator.
+// Generate implements algo.Generator — the serial path of
+// GenerateParallel.
 func (d *DPdK) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.Graph, error) {
+	return d.GenerateParallel(g, eps, rng, algo.Serial)
+}
+
+// GenerateParallel implements algo.ParallelGenerator. The representation
+// stage — the degree histogram (dK-1) or the joint degree matrix (dK-2)
+// — is a node-sharded counting pass over the adjacency with exact
+// integer merges (atomic adds into flat arenas), so the output is
+// bit-identical to Generate's at any worker count. The Laplace draws and
+// the stub-matching construction stay on rng in the serial order.
+func (d *DPdK) GenerateParallel(g *graph.Graph, eps float64, rng *rand.Rand, prm algo.Params) (*graph.Graph, error) {
 	acct := dp.NewAccountant(eps)
 	if err := acct.Spend(eps); err != nil {
 		return nil, err
 	}
 	if d.opt.Model == DK1 {
-		return d.generate1K(g, eps, rng), nil
+		return d.generate1K(g, eps, rng, prm), nil
 	}
-	return d.generate2K(g, eps, rng), nil
+	return d.generate2K(g, eps, rng, prm), nil
 }
 
 // generate1K perturbs the degree histogram and realises a sampled
 // sequence via Havel-Hakimi.
-func (d *DPdK) generate1K(g *graph.Graph, eps float64, rng *rand.Rand) *graph.Graph {
+func (d *DPdK) generate1K(g *graph.Graph, eps float64, rng *rand.Rand, prm algo.Params) *graph.Graph {
 	n := g.N()
-	hist := make([]float64, g.MaxDegree()+1)
-	for u := 0; u < n; u++ {
-		hist[g.Degree(int32(u))]++
+	histC := make([]int64, g.MaxDegree()+1)
+	prm.ForEach(n, shardGrain, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			atomic.AddInt64(&histC[g.Degree(int32(u))], 1)
+		}
+	})
+	hist := make([]float64, len(histC))
+	for i, c := range histC {
+		hist[i] = float64(c)
 	}
 	// Global L1 sensitivity of the histogram under edge CDP is 4.
-	noisy := dp.LaplaceVector(rng, hist, 4, eps)
+	noisy := dp.LaplaceVectorInto(rng, hist, hist, 4, eps)
 	// Post-process: clamp, renormalise to n nodes, draw a degree sequence.
 	total := 0.0
 	for i, v := range noisy {
@@ -134,29 +156,65 @@ func (d *DPdK) generate1K(g *graph.Graph, eps float64, rng *rand.Rand) *graph.Gr
 // noisy matrix: per-entry noise has huge variance in aggregate (hundreds
 // of entries × O(d_max) scale), so without the anchor the synthetic edge
 // count would drift by multiples of m at small ε.
-func (d *DPdK) generate2K(g *graph.Graph, eps float64, rng *rand.Rand) *graph.Graph {
+func (d *DPdK) generate2K(g *graph.Graph, eps float64, rng *rand.Rand, prm algo.Params) *graph.Graph {
 	epsTotal := eps * 0.1 // noisy edge count, global sensitivity 1
 	eps = eps - epsTotal
 	mNoisy := dp.LaplaceMechanism(rng, float64(g.M()), 1, epsTotal)
 	if mNoisy < 0 {
 		mNoisy = 0
 	}
-	jdm := gen.JDMOf(g)
+	n := g.N()
+	// The JDM lives in a flat degree-class arena instead of the legacy
+	// map: distinct degrees are renumbered densely (D classes, D² cells,
+	// far smaller than d_max²), and a node-sharded pass counts each edge
+	// once into its (class_j, class_k) cell with an atomic add — an exact
+	// integer merge, identical at any worker count.
+	maxDeg := g.MaxDegree()
+	present := make([]bool, maxDeg+1)
+	deg := make([]int, n)
+	for u := 0; u < n; u++ {
+		deg[u] = g.Degree(int32(u))
+		present[deg[u]] = true
+	}
+	classOf := make([]int32, maxDeg+1)
+	classDeg := make([]int, 0) // class index -> degree, ascending
+	for d2 := 0; d2 <= maxDeg; d2++ {
+		if present[d2] {
+			classOf[d2] = int32(len(classDeg))
+			classDeg = append(classDeg, d2)
+		}
+	}
+	nc := len(classDeg)
+	counts := make([]int64, nc*nc)
+	prm.ForEach(n, shardGrain, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			cu := classOf[deg[u]]
+			for _, v := range g.Neighbors(int32(u)) {
+				if int32(u) < v {
+					a, b := cu, classOf[deg[v]]
+					if a > b {
+						a, b = b, a
+					}
+					atomic.AddInt64(&counts[int(a)*nc+int(b)], 1)
+				}
+			}
+		}
+	})
 	var scale float64
 	if d.opt.GlobalSensitivity {
 		// Global sensitivity of the JDM: removing an edge incident to a
 		// degree-d node relocates up to 2(d_max+1) entries ⇒ O(n) worst
 		// case. Use the worst-case bound 4·n for the ablation.
-		scale = 4 * float64(g.N()) / eps
+		scale = 4 * float64(n) / eps
 	} else {
 		// Smooth sensitivity: local sensitivity at Hamming distance t is
 		// bounded by 4·(d_max + t + 1) (an edge flip moves the two endpoint
 		// degrees, relocating at most their incident JDM entries).
-		dmax := float64(g.MaxDegree())
+		dmax := float64(maxDeg)
 		beta := dp.Beta(eps, d.opt.Delta)
-		s := dp.SmoothSensitivity(beta, g.N(), func(t int) float64 {
+		s := dp.SmoothSensitivity(beta, n, func(t int) float64 {
 			ls := 4 * (dmax + float64(t) + 1)
-			cap4n := 4 * float64(g.N())
+			cap4n := 4 * float64(n)
 			if ls > cap4n {
 				ls = cap4n
 			}
@@ -164,35 +222,31 @@ func (d *DPdK) generate2K(g *graph.Graph, eps float64, rng *rand.Rand) *graph.Gr
 		})
 		scale = 2 * s / eps
 	}
-	noisy := &gen.JointDegreeMatrix{MaxDegree: jdm.MaxDegree, Counts: make(map[[2]int]float64, len(jdm.Counts))}
-	// iterate keys in sorted order so noise draws are reproducible
-	keys := make([][2]int, 0, len(jdm.Counts))
-	for k := range jdm.Counts {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a][0] != keys[b][0] {
-			return keys[a][0] < keys[b][0]
-		}
-		return keys[a][1] < keys[b][1]
-	})
-	// Keep the perturbation unbiased: clipping negatives while keeping
-	// positive noise would inflate the edge total by Σ E[max(noise, 0)],
-	// so the clipped entries are rescaled to preserve the (noisy) total
-	// mass — standard consistency post-processing, privacy-free.
+	// Perturb the observed cells in ascending (j, k) order — the same
+	// sequence the legacy sorted-map-key loop drew. Keep the perturbation
+	// unbiased: clipping negatives while keeping positive noise would
+	// inflate the edge total by Σ E[max(noise, 0)], so the clipped
+	// entries are rescaled to preserve the (noisy) total mass — standard
+	// consistency post-processing, privacy-free.
+	entries := make([]gen.JDMEntry, 0, nc*2)
 	clippedTotal := 0.0
-	for _, k := range keys {
-		nv := jdm.Counts[k] + dp.Laplace(rng, scale)
-		if nv > 0 {
-			noisy.Counts[k] = nv
-			clippedTotal += nv
+	for a := 0; a < nc; a++ {
+		for b := a; b < nc; b++ {
+			if counts[a*nc+b] == 0 {
+				continue
+			}
+			nv := float64(counts[a*nc+b]) + dp.Laplace(rng, scale)
+			if nv > 0 {
+				entries = append(entries, gen.JDMEntry{J: classDeg[a], K: classDeg[b], Count: nv})
+				clippedTotal += nv
+			}
 		}
 	}
 	if clippedTotal > 0 {
 		f := mNoisy / clippedTotal
-		for k, v := range noisy.Counts {
-			noisy.Counts[k] = v * f
+		for i := range entries {
+			entries[i].Count *= f
 		}
 	}
-	return gen.BuildFrom2K(noisy, g.N(), rng)
+	return gen.BuildFrom2KEntries(entries, n, rng)
 }

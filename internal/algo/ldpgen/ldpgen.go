@@ -26,10 +26,16 @@ import (
 	"math"
 	"math/rand"
 
+	"pgb/internal/algo"
 	"pgb/internal/dp"
 	"pgb/internal/gen"
 	"pgb/internal/graph"
 )
+
+// shardGrain is the node-block size of the sharded passes; fixed (never
+// derived from the worker count) so the block decomposition — and with it
+// every merge — is identical at any parallelism (DESIGN.md §10).
+const shardGrain = 256
 
 // Options configures LDPGen.
 type Options struct {
@@ -69,9 +75,20 @@ func (l *LDPGen) Delta() float64 { return 0 }
 // dominates.
 func (l *LDPGen) Complexity() (string, string) { return "O(n k)", "O(n k)" }
 
-// Generate implements algo.Generator. Every user's reports are simulated
-// from her adjacency list; the server side sees only the noisy vectors.
+// Generate implements algo.Generator — the serial path of
+// GenerateParallel.
 func (l *LDPGen) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.Graph, error) {
+	return l.GenerateParallel(g, eps, rng, algo.Serial)
+}
+
+// GenerateParallel implements algo.ParallelGenerator. Every user's
+// reports are simulated from her adjacency list; the server side sees
+// only the noisy vectors. The deterministic heavy passes — the two
+// per-user degree-vector scans and the k-means distance loops — are
+// node-sharded across p's workers; every Laplace draw and every sampling
+// decision stays on rng in the serial order, so the output is
+// bit-identical to Generate's at any worker count.
+func (l *LDPGen) GenerateParallel(g *graph.Graph, eps float64, rng *rand.Rand, p algo.Params) (*graph.Graph, error) {
 	acct := dp.NewAccountant(eps)
 	eps1 := eps * l.opt.Phase1Fraction
 	eps2 := eps - eps1
@@ -94,38 +111,53 @@ func (l *LDPGen) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.G
 		k1 = clampInt(int(math.Sqrt(float64(n))/4), 2, 32)
 	}
 
-	// Phase 1: noisy degree vectors toward k0 random groups.
+	// Phase 1: noisy degree vectors toward k0 random groups. The raw
+	// group-count scan is deterministic and node-sharded into one flat
+	// arena (disjoint writes — exact at any worker count); the Laplace
+	// pass then draws from rng serially in user order, exactly the
+	// legacy sequence.
 	group := make([]int, n)
 	for u := range group {
 		group[u] = rng.Intn(k0)
 	}
+	arena1 := make([]float64, n*k0)
+	p.ForEach(n, shardGrain, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			vec := arena1[u*k0 : (u+1)*k0]
+			for _, v := range g.Neighbors(int32(u)) {
+				vec[group[v]]++
+			}
+		}
+	})
 	vectors := make([][]float64, n)
 	for u := 0; u < n; u++ {
-		vec := make([]float64, k0)
-		for _, v := range g.Neighbors(int32(u)) {
-			vec[group[v]]++
-		}
-		for i := range vec {
-			vec[i] += dp.Laplace(rng, 1/eps1)
-		}
+		vec := arena1[u*k0 : (u+1)*k0]
+		dp.LaplaceVectorInto(rng, vec, vec, 1, eps1)
 		vectors[u] = vec
 	}
-	assign := kmeans(vectors, k1, 25, rng)
+	assign := kmeans(vectors, k1, 25, rng, p)
 
-	// Phase 2: noisy degree vectors toward the learned clusters.
+	// Phase 2: noisy degree vectors toward the learned clusters — the
+	// same shape: sharded raw counts, then a serial noise-and-accumulate
+	// pass (the interTotals float sums are order-sensitive, so they stay
+	// on the calling goroutine in user order).
 	intraDeg := make([]float64, n)       // user's (noisy) degree into own cluster
 	interTotals := make([][]float64, k1) // symmetric cluster-pair totals
 	for i := range interTotals {
 		interTotals[i] = make([]float64, k1)
 	}
+	arena2 := make([]float64, n*k1)
+	p.ForEach(n, shardGrain, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			vec := arena2[u*k1 : (u+1)*k1]
+			for _, v := range g.Neighbors(int32(u)) {
+				vec[assign[v]]++
+			}
+		}
+	})
 	for u := 0; u < n; u++ {
-		vec := make([]float64, k1)
-		for _, v := range g.Neighbors(int32(u)) {
-			vec[assign[v]]++
-		}
-		for i := range vec {
-			vec[i] += dp.Laplace(rng, 1/eps2)
-		}
+		vec := arena2[u*k1 : (u+1)*k1]
+		dp.LaplaceVectorInto(rng, vec, vec, 1, eps2)
 		cu := assign[u]
 		for c := 0; c < k1; c++ {
 			if c == cu {
@@ -201,8 +233,12 @@ func clampInt(v, lo, hi int) int {
 
 // kmeans clusters the vectors with Lloyd's algorithm, k-means++-style
 // seeding, returning a cluster index per vector. Empty clusters are
-// re-seeded with the farthest point.
-func kmeans(vectors [][]float64, k, iters int, rng *rand.Rand) []int {
+// re-seeded with the farthest point. The distance loops — the O(iters ·
+// n · k · dim) hot path — are node-sharded across p's workers; each
+// shard writes disjoint dist/assign entries, so results are identical at
+// any worker count. All rng draws and the order-sensitive float
+// reductions (the seeding total, the center sums) stay serial.
+func kmeans(vectors [][]float64, k, iters int, rng *rand.Rand, p algo.Params) []int {
 	n := len(vectors)
 	if k < 1 {
 		k = 1
@@ -217,15 +253,21 @@ func kmeans(vectors [][]float64, k, iters int, rng *rand.Rand) []int {
 	centers[0] = append([]float64(nil), vectors[first]...)
 	dist := make([]float64, n)
 	for c := 1; c < k; c++ {
-		total := 0.0
-		for i, v := range vectors {
-			d := math.Inf(1)
-			for j := 0; j < c; j++ {
-				if dd := sqDist(v, centers[j]); dd < d {
-					d = dd
+		c := c
+		p.ForEach(n, shardGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := vectors[i]
+				d := math.Inf(1)
+				for j := 0; j < c; j++ {
+					if dd := sqDist(v, centers[j]); dd < d {
+						d = dd
+					}
 				}
+				dist[i] = d
 			}
-			dist[i] = d
+		})
+		total := 0.0
+		for _, d := range dist {
 			total += d
 		}
 		pick := 0
@@ -251,19 +293,29 @@ func kmeans(vectors [][]float64, k, iters int, rng *rand.Rand) []int {
 	for i := range sums {
 		sums[i] = make([]float64, dim)
 	}
+	changedShard := make([]bool, (n+shardGrain-1)/shardGrain+1)
 	for it := 0; it < iters; it++ {
-		changed := false
-		for i, v := range vectors {
-			best, bestD := 0, math.Inf(1)
-			for c := 0; c < k; c++ {
-				if d := sqDist(v, centers[c]); d < bestD {
-					best, bestD = c, d
+		for i := range changedShard {
+			changedShard[i] = false
+		}
+		p.ForEach(n, shardGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := vectors[i]
+				best, bestD := 0, math.Inf(1)
+				for c := 0; c < k; c++ {
+					if d := sqDist(v, centers[c]); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				if assign[i] != best {
+					assign[i] = best
+					changedShard[lo/shardGrain] = true
 				}
 			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
+		})
+		changed := false
+		for _, ch := range changedShard {
+			changed = changed || ch
 		}
 		if !changed && it > 0 {
 			break

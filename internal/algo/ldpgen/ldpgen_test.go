@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"pgb/internal/algo"
 	"pgb/internal/community"
 	"pgb/internal/gen"
 	"pgb/internal/graph"
@@ -21,7 +22,7 @@ func TestKMeansSeparatesObviousClusters(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		vecs = append(vecs, []float64{100, 100})
 	}
-	assign := kmeans(vecs, 2, 20, rng(1))
+	assign := kmeans(vecs, 2, 20, rng(1), algo.Serial)
 	for i := 1; i < 20; i++ {
 		if assign[i] != assign[0] {
 			t.Fatal("first cluster split")
@@ -37,7 +38,7 @@ func TestKMeansSeparatesObviousClusters(t *testing.T) {
 
 func TestKMeansDegenerate(t *testing.T) {
 	vecs := [][]float64{{1, 1}, {1, 1}, {1, 1}}
-	assign := kmeans(vecs, 5, 10, rng(2)) // k > n clamps
+	assign := kmeans(vecs, 5, 10, rng(2), algo.Serial) // k > n clamps
 	if len(assign) != 3 {
 		t.Fatalf("len = %d", len(assign))
 	}

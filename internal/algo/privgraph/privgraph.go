@@ -18,12 +18,23 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
+	"pgb/internal/algo"
 	"pgb/internal/community"
 	"pgb/internal/dp"
 	"pgb/internal/gen"
 	"pgb/internal/graph"
 )
+
+// shardGrain is the node-block size of the sharded accumulation pass;
+// fixed so the decomposition never depends on the worker count.
+const shardGrain = 256
+
+// maxDenseInter caps the dense inter-community count arena at 2M entries
+// (16 MB): beyond that — degenerate partitions with thousands of
+// communities — the sparse map accumulator is used instead.
+const maxDenseInter = 1 << 21
 
 // Options configures PrivGraph.
 type Options struct {
@@ -63,8 +74,20 @@ func (p *PrivGraph) Delta() float64 { return 0 }
 // Complexity implements algo.Generator (Table VIII).
 func (p *PrivGraph) Complexity() (string, string) { return "O(n^2)", "O(m + n)" }
 
-// Generate implements algo.Generator.
+// Generate implements algo.Generator — the serial path of
+// GenerateParallel.
 func (p *PrivGraph) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.Graph, error) {
+	return p.GenerateParallel(g, eps, rng, algo.Serial)
+}
+
+// GenerateParallel implements algo.ParallelGenerator. The phase-2
+// statistics scan — intra-community degrees and inter-community edge
+// counts over every adjacency — is node-sharded across prm's workers
+// into flat arenas with exact integer merges (atomic counts), so the
+// output is bit-identical to Generate's at any worker count; the
+// randomized-response draws, Louvain post-processing, Laplace noise and
+// construction sampling all stay on rng in the serial order.
+func (p *PrivGraph) GenerateParallel(g *graph.Graph, eps float64, rng *rand.Rand, prm algo.Params) (*graph.Graph, error) {
 	acct := dp.NewAccountant(eps)
 	eps1 := eps * p.opt.Split[0]
 	eps2 := eps * p.opt.Split[1]
@@ -88,38 +111,64 @@ func (p *PrivGraph) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*grap
 		members[c] = append(members[c], int32(u))
 	}
 
-	// ---- Phase 2a: intra-community degree sequences + Laplace(2/ε2).
+	// ---- Phase 2a+2b: one node-sharded scan accumulates both the
+	// intra-community degree sequences (disjoint per-node writes) and the
+	// inter-community edge counts (integer adds — atomic on the dense
+	// arena, so the merged values are exact regardless of schedule).
+	// A node's intra degree is its count of same-community neighbors —
+	// identical to the legacy per-edge double increment.
 	intraDegrees := make([][]float64, k)
 	for c := range members {
 		intraDegrees[c] = make([]float64, len(members[c]))
 	}
 	// index of node inside its community
 	pos := make([]int32, n)
-	for c, ms := range members {
+	for _, ms := range members {
 		for i, u := range ms {
 			pos[u] = int32(i)
-			_ = c
 		}
 	}
-	// ---- Phase 2b: inter-community edge counts + Laplace(1/ε3).
-	inter := make(map[[2]int]float64)
-	for u := 0; u < n; u++ {
-		cu := labels[u]
-		for _, v := range g.Neighbors(int32(u)) {
-			if int32(u) >= v {
-				continue
-			}
-			cv := labels[v]
-			if cu == cv {
-				intraDegrees[cu][pos[u]]++
-				intraDegrees[cu][pos[v]]++
-			} else {
-				a, b := cu, cv
-				if a > b {
-					a, b = b, a
+	var interArena []int64
+	var interMap map[[2]int]float64
+	if k > 0 && k <= maxDenseInter/k {
+		interArena = make([]int64, k*k)
+		prm.ForEach(n, shardGrain, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				cu := labels[u]
+				intra := 0
+				for _, v := range g.Neighbors(int32(u)) {
+					cv := labels[v]
+					if cv == cu {
+						intra++
+					} else if int32(u) < v {
+						a, b := cu, cv
+						if a > b {
+							a, b = b, a
+						}
+						atomic.AddInt64(&interArena[a*k+b], 1)
+					}
 				}
-				inter[[2]int{a, b}]++
+				intraDegrees[cu][pos[u]] = float64(intra)
 			}
+		})
+	} else {
+		interMap = make(map[[2]int]float64)
+		for u := 0; u < n; u++ {
+			cu := labels[u]
+			intra := 0
+			for _, v := range g.Neighbors(int32(u)) {
+				cv := labels[v]
+				if cv == cu {
+					intra++
+				} else if int32(u) < v {
+					a, b := cu, cv
+					if a > b {
+						a, b = b, a
+					}
+					interMap[[2]int{a, b}]++
+				}
+			}
+			intraDegrees[cu][pos[u]] = float64(intra)
 		}
 	}
 	for c := range intraDegrees {
@@ -147,19 +196,33 @@ func (p *PrivGraph) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*grap
 		}
 	}
 	// Uniform bipartite edges between communities, iterating community
-	// pairs in sorted order so noise draws are reproducible.
-	interKeys := make([][2]int, 0, len(inter))
-	for key := range inter {
-		interKeys = append(interKeys, key)
-	}
-	sort.Slice(interKeys, func(a, b int) bool {
-		if interKeys[a][0] != interKeys[b][0] {
-			return interKeys[a][0] < interKeys[b][0]
+	// pairs in ascending (a, b) order so noise draws are reproducible —
+	// the same sequence the legacy sorted-map-key loop produced, since
+	// only observed pairs (count > 0) are visited.
+	var interKeys [][2]int
+	interCount := func(key [2]int) float64 { return interMap[key] }
+	if interArena != nil {
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				if interArena[a*k+b] > 0 {
+					interKeys = append(interKeys, [2]int{a, b})
+				}
+			}
 		}
-		return interKeys[a][1] < interKeys[b][1]
-	})
+		interCount = func(key [2]int) float64 { return float64(interArena[key[0]*k+key[1]]) }
+	} else {
+		for key := range interMap {
+			interKeys = append(interKeys, key)
+		}
+		sort.Slice(interKeys, func(a, b int) bool {
+			if interKeys[a][0] != interKeys[b][0] {
+				return interKeys[a][0] < interKeys[b][0]
+			}
+			return interKeys[a][1] < interKeys[b][1]
+		})
+	}
 	for _, key := range interKeys {
-		noisyCnt := inter[key] + dp.Laplace(rng, 1/eps3)
+		noisyCnt := interCount(key) + dp.Laplace(rng, 1/eps3)
 		count := int(math.Round(noisyCnt))
 		if count <= 0 {
 			continue
@@ -196,10 +259,15 @@ func (p *PrivGraph) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*grap
 func randomizeEdges(g *graph.Graph, eps float64, rng *rand.Rand) *graph.Graph {
 	n := g.N()
 	q := dp.FlipProbability(eps)
-	b := graph.NewBuilder(n)
-	for _, e := range g.Edges() {
+	// Collect surviving and flipped-in edges into a flat list and build
+	// the CSR arena directly: FromEdges deduplicates exactly like the
+	// legacy per-node Builder maps did, without their allocations. The
+	// rng draw sequence (one Float64 per true edge in canonical order,
+	// then two Intn per flip-in attempt) is unchanged.
+	edges := make([]graph.Edge, 0, g.M())
+	for e := range g.EdgeSeq() {
 		if rng.Float64() >= q {
-			_ = b.AddEdge(e.U, e.V)
+			edges = append(edges, e)
 		}
 	}
 	nonEdges := float64(n)*float64(n-1)/2 - float64(g.M())
@@ -216,8 +284,8 @@ func randomizeEdges(g *graph.Graph, eps float64, rng *rand.Rand) *graph.Graph {
 		u := int32(rng.Intn(n))
 		v := int32(rng.Intn(n))
 		if u != v && !g.HasEdge(u, v) {
-			_ = b.AddEdge(u, v)
+			edges = append(edges, graph.Canon(u, v))
 		}
 	}
-	return b.Build()
+	return graph.FromEdges(n, edges)
 }

@@ -19,10 +19,16 @@ package privhrg
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 
+	"pgb/internal/algo"
 	"pgb/internal/dp"
 	"pgb/internal/graph"
 )
+
+// shardGrain is the block size of the sharded counting passes; fixed so
+// the decomposition never depends on the worker count.
+const shardGrain = 256
 
 // Options configures PrivHRG.
 type Options struct {
@@ -69,9 +75,15 @@ type dendrogram struct {
 	e       []float64 // crossing edge count (internal nodes)
 	root    int32
 	g       *graph.Graph
+	// prm is the execution-only worker allowance of the sharded counting
+	// passes; it never affects values (exact integer merges only).
+	prm algo.Params
+	// leafA/leafS are reusable leaf-collection scratch buffers for the
+	// per-MCMC-step edgesBetween calls.
+	leafA, leafS []int32
 }
 
-func newDendrogram(g *graph.Graph, rng *rand.Rand) *dendrogram {
+func newDendrogram(g *graph.Graph, rng *rand.Rand, prm algo.Params) *dendrogram {
 	n := g.N()
 	total := 2*n - 1
 	d := &dendrogram{
@@ -82,6 +94,9 @@ func newDendrogram(g *graph.Graph, rng *rand.Rand) *dendrogram {
 		nLeaves: make([]int32, total),
 		e:       make([]float64, total),
 		g:       g,
+		prm:     prm,
+		leafA:   make([]int32, 0, n),
+		leafS:   make([]int32, 0, n),
 	}
 	for i := range d.left {
 		d.left[i] = -1
@@ -120,11 +135,10 @@ func newDendrogram(g *graph.Graph, rng *rand.Rand) *dendrogram {
 	return d
 }
 
-// recountEdges recomputes all crossing counts from scratch via LCA.
+// recountEdges recomputes all crossing counts from scratch via LCA. The
+// per-edge LCA walk is node-sharded; each edge adds one exact integer
+// count (atomically), so the totals are identical at any worker count.
 func (d *dendrogram) recountEdges() {
-	for i := range d.e {
-		d.e[i] = 0
-	}
 	depth := make([]int32, len(d.parent))
 	var computeDepth func(u int32) int32
 	computeDepth = func(u int32) int32 {
@@ -137,8 +151,19 @@ func (d *dendrogram) recountEdges() {
 	for i := range depth {
 		computeDepth(int32(i))
 	}
-	for _, e := range d.g.Edges() {
-		d.e[d.lca(e.U, e.V, depth)]++
+	counts := make([]int64, len(d.e))
+	g := d.g
+	d.prm.ForEach(d.n, shardGrain, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			for _, v := range g.Neighbors(int32(u)) {
+				if int32(u) < v {
+					atomic.AddInt64(&counts[d.lca(int32(u), v, depth)], 1)
+				}
+			}
+		}
+	})
+	for i, c := range counts {
+		d.e[i] = float64(c)
 	}
 }
 
@@ -166,28 +191,37 @@ func (d *dendrogram) collectLeaves(u int32, out []int32) []int32 {
 }
 
 // edgesBetween counts graph edges between the leaf sets of subtrees a and
-// s by marking the smaller side and scanning neighbor lists.
+// s by marking the larger side and scanning the smaller side's neighbor
+// lists — sharded across the dendrogram's workers when the scan is big
+// enough to split (the count is an exact integer merge). Leaf collection
+// reuses the dendrogram's scratch buffers, so the per-MCMC-step calls
+// allocate nothing.
 func (d *dendrogram) edgesBetween(a, s int32, mark []bool) float64 {
 	if d.nLeaves[a] > d.nLeaves[s] {
 		a, s = s, a
 	}
-	la := d.collectLeaves(a, nil)
-	ls := d.collectLeaves(s, nil)
+	la := d.collectLeaves(a, d.leafA[:0])
+	ls := d.collectLeaves(s, d.leafS[:0])
+	d.leafA, d.leafS = la, ls
 	for _, u := range ls {
 		mark[u] = true
 	}
-	cnt := 0.0
-	for _, u := range la {
-		for _, v := range d.g.Neighbors(u) {
-			if mark[v] {
-				cnt++
+	var cnt int64
+	d.prm.ForEach(len(la), shardGrain, func(lo, hi int) {
+		part := int64(0)
+		for _, u := range la[lo:hi] {
+			for _, v := range d.g.Neighbors(u) {
+				if mark[v] {
+					part++
+				}
 			}
 		}
-	}
+		atomic.AddInt64(&cnt, part)
+	})
 	for _, u := range ls {
 		mark[u] = false
 	}
-	return cnt
+	return float64(cnt)
 }
 
 // termLL is one internal node's log-likelihood contribution:
@@ -211,8 +245,21 @@ func (d *dendrogram) pairs(r int32) float64 {
 	return float64(d.nLeaves[d.left[r]]) * float64(d.nLeaves[d.right[r]])
 }
 
-// Generate implements algo.Generator.
+// Generate implements algo.Generator — the serial path of
+// GenerateParallel.
 func (p *PrivHRG) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.Graph, error) {
+	return p.GenerateParallel(g, eps, rng, algo.Serial)
+}
+
+// GenerateParallel implements algo.ParallelGenerator. The MCMC chain is
+// inherently sequential (each Metropolis step conditions on the last),
+// so PrivHRG shards the deterministic counting inside it instead: the
+// initial LCA recount and each step's cross-subtree edge count split
+// across prm's workers with exact integer merges. Every rng draw — the
+// chain's proposals and acceptances, the Laplace noise, the construction
+// sampling — stays on the calling goroutine in the serial order, so the
+// output is bit-identical to Generate's at any worker count.
+func (p *PrivHRG) GenerateParallel(g *graph.Graph, eps float64, rng *rand.Rand, prm algo.Params) (*graph.Graph, error) {
 	acct := dp.NewAccountant(eps)
 	eps1 := eps * p.opt.StructureFraction
 	eps2 := eps - eps1
@@ -226,7 +273,7 @@ func (p *PrivHRG) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.
 	if n < 2 {
 		return graph.New(n), nil
 	}
-	d := newDendrogram(g, rng)
+	d := newDendrogram(g, rng, prm)
 
 	steps := p.opt.MCMCSteps
 	if steps <= 0 {
@@ -303,14 +350,39 @@ func (p *PrivHRG) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.
 
 	// Perturb crossing counts: sensitivity 1 (one edge maps to one LCA).
 	// Then sample cross edges per internal node at probability p̃_r.
-	b := graph.NewBuilder(n)
-	var emit func(u int32) []int32
-	emit = func(u int32) []int32 {
+	//
+	// The legacy recursion materialised a leaf slice per internal node
+	// (O(n log n) appends). One in-order traversal instead lays all
+	// leaves into a single array in which every subtree's leaf set is a
+	// contiguous range; the post-order walk below visits internal nodes
+	// in exactly the recursion's order (children first, left before
+	// right) and indexes the same leaf sequences, so the draw stream is
+	// unchanged while construction allocates O(n) once.
+	leafOrder := make([]int32, 0, n)
+	lo := make([]int32, len(d.parent)) // leaf range [lo, hi) per node
+	hi := make([]int32, len(d.parent))
+	var layout func(u int32)
+	layout = func(u int32) {
+		lo[u] = int32(len(leafOrder))
 		if u < int32(d.n) {
-			return []int32{u}
+			leafOrder = append(leafOrder, u)
+		} else {
+			layout(d.left[u])
+			layout(d.right[u])
 		}
-		lL := emit(d.left[u])
-		lR := emit(d.right[u])
+		hi[u] = int32(len(leafOrder))
+	}
+	layout(d.root)
+	edges := make([]graph.Edge, 0, g.M())
+	var emit func(u int32)
+	emit = func(u int32) {
+		if u < int32(d.n) {
+			return
+		}
+		emit(d.left[u])
+		emit(d.right[u])
+		lL := leafOrder[lo[d.left[u]]:hi[d.left[u]]]
+		lR := leafOrder[lo[d.right[u]]:hi[d.right[u]]]
 		pairs := float64(len(lL)) * float64(len(lR))
 		noisyE := d.e[u] + dp.Laplace(rng, 1/eps2)
 		prob := noisyE / pairs
@@ -324,12 +396,11 @@ func (p *PrivHRG) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.
 		for i := 0; i < count; i++ {
 			uu := lL[rng.Intn(len(lL))]
 			vv := lR[rng.Intn(len(lR))]
-			_ = b.AddEdge(uu, vv)
+			edges = append(edges, graph.Canon(uu, vv))
 		}
-		return append(lL, lR...)
 	}
 	emit(d.root)
-	return b.Build(), nil
+	return graph.FromEdges(n, edges), nil
 }
 
 // sampleBinomial draws Binomial(n, p) — exactly for small n, by normal

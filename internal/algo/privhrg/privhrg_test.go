@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"pgb/internal/algo"
 	"pgb/internal/gen"
 	"pgb/internal/graph"
 	"pgb/internal/metrics"
@@ -16,7 +17,7 @@ func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 func TestDendrogramInvariants(t *testing.T) {
 	g := gen.GNM(50, 120, rng(1))
-	d := newDendrogram(g, rng(2))
+	d := newDendrogram(g, rng(2), algo.Serial)
 	// every internal node's leaf count equals |left| + |right|
 	for u := int32(g.N()); u < int32(2*g.N()-1); u++ {
 		if d.nLeaves[u] != d.nLeaves[d.left[u]]+d.nLeaves[d.right[u]] {

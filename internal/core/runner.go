@@ -302,7 +302,8 @@ func runCell(cfg Config, algName, dsName string, g *graph.Graph, truth *Profile,
 	for rep := 0; rep < cfg.Reps; rep++ {
 		repSeed := seed + int64(rep)*7919
 		rng := rand.New(rand.NewSource(repSeed))
-		sec, bytes, syn, gerr := MeasureGenerate(generator, g, eps, rng)
+		sec, bytes, syn, gerr := MeasureGenerateWith(generator, g, eps, rng,
+			algo.Params{Workers: cfg.Workers, Budget: cfg.budget})
 		if gerr != nil {
 			res.Err = gerr
 			return res
@@ -332,14 +333,23 @@ func runCell(cfg Config, algName, dsName string, g *graph.Graph, truth *Profile,
 	return res
 }
 
-// MeasureGenerate runs one generation, returning wall-clock seconds and
-// heap bytes allocated during the call (the Table IX / Table X
-// measurements).
+// MeasureGenerate runs one serial generation, returning wall-clock
+// seconds and heap bytes allocated during the call (the Table IX /
+// Table X measurements).
 func MeasureGenerate(g algo.Generator, in *graph.Graph, eps float64, rng *rand.Rand) (sec, bytes float64, out *graph.Graph, err error) {
+	return MeasureGenerateWith(g, in, eps, rng, algo.Serial)
+}
+
+// MeasureGenerateWith is MeasureGenerate under an explicit worker
+// allowance: the grid runner threads its run-wide budget through so a
+// cell's generation stage shares the same allowance as its profile
+// kernels. Values are identical at any Params (DESIGN.md §10); only the
+// measurements observe the schedule.
+func MeasureGenerateWith(g algo.Generator, in *graph.Graph, eps float64, rng *rand.Rand, p algo.Params) (sec, bytes float64, out *graph.Graph, err error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	out, err = g.Generate(in, eps, rng)
+	out, err = algo.GenerateWith(g, in, eps, rng, p)
 	sec = time.Since(start).Seconds()
 	runtime.ReadMemStats(&after)
 	bytes = float64(after.TotalAlloc - before.TotalAlloc)

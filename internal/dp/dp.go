@@ -16,8 +16,16 @@ import (
 
 // Laplace draws one sample from the Laplace distribution with mean 0 and
 // scale b > 0 using inverse-CDF sampling.
+//
+// A zero scale is the degenerate noiseless distribution and returns 0 —
+// the documented behaviour for sensitivity-0 queries. A negative scale is
+// always a caller bug (a mis-derived sensitivity or budget) and panics,
+// matching the epsilon validation of the mechanism wrappers.
 func Laplace(rng *rand.Rand, b float64) float64 {
-	if b <= 0 {
+	if b < 0 {
+		panic("dp: negative Laplace scale")
+	}
+	if b == 0 {
 		return 0
 	}
 	// u uniform on (-1/2, 1/2); avoid u == ±1/2 exactly.
@@ -56,12 +64,38 @@ func LaplaceVector(rng *rand.Rand, values []float64, sensitivity, epsilon float6
 	return out
 }
 
+// LaplaceVectorInto is LaplaceVector without the allocation: it writes
+// values[i] + noise into dst, which must be at least len(values) long, and
+// returns dst[:len(values)]. dst and values may be the same slice for
+// in-place perturbation. Draws are identical to LaplaceVector's — one per
+// entry, in order — so the two are interchangeable on a fixed rng stream.
+func LaplaceVectorInto(rng *rand.Rand, dst, values []float64, sensitivity, epsilon float64) []float64 {
+	if epsilon <= 0 {
+		panic("dp: non-positive epsilon")
+	}
+	if len(dst) < len(values) {
+		panic("dp: LaplaceVectorInto dst shorter than values")
+	}
+	b := sensitivity / epsilon
+	dst = dst[:len(values)]
+	for i, v := range values {
+		dst[i] = v + Laplace(rng, b)
+	}
+	return dst
+}
+
 // Geometric draws from the two-sided (discrete) geometric distribution with
 // parameter alpha = exp(-epsilon/sensitivity), the discrete analogue of the
 // Laplace mechanism. Used where integer outputs are required.
 func Geometric(rng *rand.Rand, sensitivity, epsilon float64) int64 {
 	if epsilon <= 0 {
 		panic("dp: non-positive epsilon")
+	}
+	if sensitivity <= 0 {
+		// A non-positive sensitivity silently breaks the distribution:
+		// alpha = e^{-eps/sens} ≥ 1 makes every magnitude equally (or
+		// increasingly) likely and the zero-mass formula negative.
+		panic("dp: non-positive sensitivity")
 	}
 	alpha := math.Exp(-epsilon / sensitivity)
 	// Sample magnitude from one-sided geometric, then a sign; mass at zero
@@ -72,8 +106,12 @@ func Geometric(rng *rand.Rand, sensitivity, epsilon float64) int64 {
 		return 0
 	}
 	// Remaining mass splits evenly over +k and -k, k >= 1, with
-	// P(|X| = k) = p0 * alpha^k.
+	// P(|X| = k) = p0 * alpha^k. Float64 may return exactly 0, whose log
+	// is -Inf; redraw rather than clamp so the tail stays geometric.
 	u = rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
 	k := int64(1 + math.Floor(math.Log(u)/math.Log(alpha)))
 	if k < 1 {
 		k = 1
@@ -82,6 +120,17 @@ func Geometric(rng *rand.Rand, sensitivity, epsilon float64) int64 {
 		return k
 	}
 	return -k
+}
+
+// GeometricBatch fills dst with independent two-sided geometric draws at
+// the given sensitivity and epsilon — the allocation-free batch form of
+// Geometric for sharded passes that need a block of integer noise. Draws
+// are identical to len(dst) sequential Geometric calls on the same rng.
+func GeometricBatch(rng *rand.Rand, dst []int64, sensitivity, epsilon float64) []int64 {
+	for i := range dst {
+		dst[i] = Geometric(rng, sensitivity, epsilon)
+	}
+	return dst
 }
 
 // Exponential implements the exponential mechanism over a finite candidate

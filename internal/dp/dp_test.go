@@ -31,9 +31,18 @@ func TestLaplaceMoments(t *testing.T) {
 }
 
 func TestLaplaceZeroScale(t *testing.T) {
-	if Laplace(rng(), 0) != 0 || Laplace(rng(), -1) != 0 {
-		t.Fatal("non-positive scale should give 0")
+	if Laplace(rng(), 0) != 0 {
+		t.Fatal("zero scale should give the degenerate noiseless 0")
 	}
+}
+
+func TestLaplacePanicsOnNegativeScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative scale")
+		}
+	}()
+	Laplace(rng(), -1)
 }
 
 func TestLaplaceMechanismCentersOnValue(t *testing.T) {
@@ -72,6 +81,79 @@ func TestLaplaceVector(t *testing.T) {
 	// input unchanged
 	if in[0] != 1 || in[1] != 2 || in[2] != 3 {
 		t.Fatal("input mutated")
+	}
+}
+
+// LaplaceVectorInto must reproduce LaplaceVector's draws exactly on a
+// fixed rng stream, with and without aliasing dst to values.
+func TestLaplaceVectorIntoMatchesLaplaceVector(t *testing.T) {
+	in := []float64{1, 2, 3, 4, 5}
+	want := LaplaceVector(rand.New(rand.NewSource(9)), in, 2, 0.7)
+	dst := make([]float64, len(in))
+	got := LaplaceVectorInto(rand.New(rand.NewSource(9)), dst, in, 2, 0.7)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %g != %g", i, got[i], want[i])
+		}
+	}
+	// in-place: dst == values
+	inPlace := append([]float64(nil), in...)
+	LaplaceVectorInto(rand.New(rand.NewSource(9)), inPlace, inPlace, 2, 0.7)
+	for i := range want {
+		if inPlace[i] != want[i] {
+			t.Fatalf("in-place entry %d: %g != %g", i, inPlace[i], want[i])
+		}
+	}
+}
+
+func TestLaplaceVectorIntoPanics(t *testing.T) {
+	cases := []func(){
+		func() { LaplaceVectorInto(rng(), make([]float64, 1), []float64{1, 2}, 1, 1) },
+		func() { LaplaceVectorInto(rng(), make([]float64, 2), []float64{1, 2}, 1, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGeometricPanicsOnBadParams(t *testing.T) {
+	cases := []func(){
+		func() { Geometric(rng(), 1, 0) },
+		func() { Geometric(rng(), 0, 1) },
+		func() { Geometric(rng(), -2, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// GeometricBatch must be draw-for-draw identical to sequential Geometric
+// calls on the same stream.
+func TestGeometricBatchMatchesSequential(t *testing.T) {
+	r1 := rand.New(rand.NewSource(4))
+	want := make([]int64, 64)
+	for i := range want {
+		want[i] = Geometric(r1, 1, 0.5)
+	}
+	got := GeometricBatch(rand.New(rand.NewSource(4)), make([]int64, 64), 1, 0.5)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %d != %d", i, got[i], want[i])
+		}
 	}
 }
 

@@ -188,6 +188,13 @@ func JDMOf(g *graph.Graph) *JointDegreeMatrix {
 	return jdm
 }
 
+// JDMEntry is one joint-degree-matrix cell: Count edges between a
+// degree-J and a degree-K node, J <= K.
+type JDMEntry struct {
+	J, K  int
+	Count float64
+}
+
 // BuildFrom2K constructs a graph targeting a (possibly noisy) joint degree
 // matrix: it derives the implied degree sequence, sanitises it, then uses
 // degree-class stub matching so edges connect the prescribed degree
@@ -207,20 +214,31 @@ func BuildFrom2K(jdm *JointDegreeMatrix, n int, rng *rand.Rand) *graph.Graph {
 		}
 		return keys[a][1] < keys[b][1]
 	})
+	entries := make([]JDMEntry, 0, len(keys))
+	for _, key := range keys {
+		entries = append(entries, JDMEntry{J: key[0], K: key[1], Count: jdm.Counts[key]})
+	}
+	return BuildFrom2KEntries(entries, n, rng)
+}
+
+// BuildFrom2KEntries is BuildFrom2K on a flat entry list already in
+// ascending (J, K) order — the representation DP-dK's arena-based JDM
+// pass produces directly. Entry order is the draw order of the stub
+// matching, so callers must supply the sorted order for results to match
+// BuildFrom2K on the equivalent map.
+func BuildFrom2KEntries(entries []JDMEntry, n int, rng *rand.Rand) *graph.Graph {
 	// Derive per-degree-class stub demand: class j needs Σ_k count(j,k)
 	// endpoints (diagonal contributes 2 per edge).
 	classStubs := make(map[int]float64)
-	for _, key := range keys {
-		c := jdm.Counts[key]
-		if c <= 0 {
+	for _, e := range entries {
+		if e.Count <= 0 {
 			continue
 		}
-		j, k := key[0], key[1]
-		if j == k {
-			classStubs[j] += 2 * c
+		if e.J == e.K {
+			classStubs[e.J] += 2 * e.Count
 		} else {
-			classStubs[j] += c
-			classStubs[k] += c
+			classStubs[e.J] += e.Count
+			classStubs[e.K] += e.Count
 		}
 	}
 	// Assign nodes to degree classes: class j needs ceil(stubs_j / j) nodes.
@@ -259,7 +277,10 @@ func BuildFrom2K(jdm *JointDegreeMatrix, n int, rng *rand.Rand) *graph.Graph {
 	// Distribute each class's exact stub demand over its nodes (capacity
 	// would be ceil(stubs/deg)·deg ≥ stubs; handing every node a full
 	// `deg` overshoots the edge budget when leftovers are matched).
-	remaining := make(map[int32]int) // residual stub count per node
+	// Residual stubs live in a flat node-indexed arena — node IDs are
+	// assigned densely from 0, so the slice replaces the legacy map
+	// without changing a single lookup.
+	remaining := make([]int, n) // residual stub count per node
 	for _, ci := range classes {
 		demand := int(math.Round(classStubs[ci.deg]))
 		for i, u := range ci.nodes {
@@ -288,11 +309,11 @@ func BuildFrom2K(jdm *JointDegreeMatrix, n int, rng *rand.Rand) *graph.Graph {
 		}
 		return 0, false
 	}
-	// Place edges class-pair by class-pair, in the same sorted key order.
-	for _, key := range keys {
-		count := int(math.Round(jdm.Counts[key]))
-		cj, ok1 := classByDeg[key[0]]
-		ck, ok2 := classByDeg[key[1]]
+	// Place edges class-pair by class-pair, in the same sorted entry order.
+	for _, e := range entries {
+		count := int(math.Round(e.Count))
+		cj, ok1 := classByDeg[e.J]
+		ck, ok2 := classByDeg[e.K]
 		if !ok1 || !ok2 {
 			continue
 		}

@@ -30,6 +30,43 @@ func Queue(n int) func() (int, bool) {
 	}
 }
 
+// ForEachBlock partitions [0, n) into fixed-size blocks of the given
+// grain and runs fn once per block, on the calling goroutine plus up to
+// workers−1 helpers drawn from budget b (nil b spawns the helpers
+// unconditionally). The block decomposition depends only on n and grain —
+// never on the worker count or the schedule — so a pass whose merges are
+// exact (disjoint writes, or integer-valued accumulation) produces
+// identical results at any parallelism; that invariant is the caller's
+// responsibility, exactly as with Queue. fn must be safe for concurrent
+// invocation on disjoint blocks.
+func ForEachBlock(b *Budget, workers, n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	blocks := (n + grain - 1) / grain
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	claim := Queue(blocks)
+	b.Do(workers-1, func() {
+		for i, ok := claim(); ok; i, ok = claim() {
+			lo := i * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	})
+}
+
 // Budget is a counted allowance of helper workers, shared between
 // nested parallel layers. The goroutine that owns a computation is
 // never counted: a Budget of size N−1 plus the caller yields at most N

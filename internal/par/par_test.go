@@ -137,3 +137,40 @@ func TestDoTokenFlowsBetweenCallers(t *testing.T) {
 		t.Fatal("released token was not claimed by the second caller's helper")
 	}
 }
+
+// ForEachBlock must visit every index of [0, n) exactly once, with a
+// block decomposition that depends only on n and grain — at any worker
+// count, with and without a shared budget.
+func TestForEachBlockCoversRange(t *testing.T) {
+	const n, grain = 1003, 64
+	for _, workers := range []int{1, 2, 8, 32} {
+		for _, b := range []*Budget{nil, NewBudget(workers - 1)} {
+			var visited [n]atomic.Int64
+			ForEachBlock(b, workers, n, grain, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad block [%d, %d)", lo, hi)
+				}
+				if workers > 1 && lo%grain != 0 {
+					t.Errorf("block start %d not grain-aligned", lo)
+				}
+				for i := lo; i < hi; i++ {
+					visited[i].Add(1)
+				}
+			})
+			for i := range visited {
+				if got := visited[i].Load(); got != 1 {
+					t.Fatalf("workers=%d index %d visited %d times", workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachBlockEdgeCases(t *testing.T) {
+	ForEachBlock(nil, 4, 0, 16, func(lo, hi int) { t.Error("fn called for n=0") })
+	calls := 0
+	ForEachBlock(nil, 4, 5, 0, func(lo, hi int) { calls += hi - lo }) // grain clamped to 1
+	if calls != 5 {
+		t.Fatalf("covered %d of 5 indices with clamped grain", calls)
+	}
+}

@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"container/list"
+	"sync"
+)
 
 // cache.go is the content-addressed result cache behind the service's
 // "identical submissions return instantly" contract (DESIGN.md §9.3).
@@ -9,63 +12,64 @@ import "sync"
 // any two requests with equal keys would compute identical values, and
 // schedule-only knobs (workers, checkpoint paths) never fragment it.
 
-// resultCache is a small mutex-guarded LRU. Values are immutable once
-// inserted (callers must treat them as read-only, like the core profile
-// cache).
+// resultCache is a small mutex-guarded LRU. Recency is an intrusive
+// doubly-linked list (front = oldest) with a key → element index, so a
+// cache hit is O(1) — the legacy recency slice made every get scan up to
+// `limit` keys, a per-request cost under service load. Values are
+// immutable once inserted (callers must treat them as read-only, like
+// the core profile cache).
 type resultCache struct {
 	mu      sync.Mutex
 	limit   int
-	entries map[string]any
-	order   []string // oldest first
+	entries map[string]*list.Element
+	order   *list.List // of *cacheEntry; front = oldest, back = newest
+}
+
+type cacheEntry struct {
+	key string
+	val any
 }
 
 func newResultCache(limit int) *resultCache {
 	if limit < 1 {
 		limit = 1
 	}
-	return &resultCache{limit: limit, entries: make(map[string]any, limit)}
+	return &resultCache{
+		limit:   limit,
+		entries: make(map[string]*list.Element, limit),
+		order:   list.New(),
+	}
 }
 
 func (c *resultCache) get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	v, ok := c.entries[key]
-	if ok {
-		c.touch(key)
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
 	}
-	return v, ok
+	c.order.MoveToBack(el)
+	return el.Value.(*cacheEntry).val, true
 }
 
 func (c *resultCache) put(key string, v any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[key]; ok {
-		c.entries[key] = v
-		c.touch(key)
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = v
+		c.order.MoveToBack(el)
 		return
 	}
-	if len(c.order) >= c.limit {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.entries, oldest)
+	if c.order.Len() >= c.limit {
+		oldest := c.order.Front()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
 	}
-	c.entries[key] = v
-	c.order = append(c.order, key)
+	c.entries[key] = c.order.PushBack(&cacheEntry{key: key, val: v})
 }
 
 func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
-}
-
-// touch moves key to the most-recently-used end; the caller holds mu.
-func (c *resultCache) touch(key string) {
-	for i, k := range c.order {
-		if k == key {
-			copy(c.order[i:], c.order[i+1:])
-			c.order[len(c.order)-1] = key
-			return
-		}
-	}
 }

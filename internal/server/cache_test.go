@@ -1,0 +1,71 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The LRU contract: get refreshes recency, put evicts the least recently
+// used entry, and a re-put of an existing key updates in place.
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if v, ok := c.get("a"); !ok || v != 1 {
+		t.Fatalf("get a = %v, %v", v, ok)
+	}
+	c.put("c", 3) // "b" is now the LRU entry and must be evicted
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction despite being least recently used")
+	}
+	for k, want := range map[string]int{"a": 1, "c": 3} {
+		if v, ok := c.get(k); !ok || v != want {
+			t.Fatalf("get %s = %v, %v; want %d", k, v, ok, want)
+		}
+	}
+	c.put("a", 10) // update in place, no eviction
+	if v, _ := c.get("a"); v != 10 {
+		t.Fatalf("a = %v after re-put", v)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestResultCacheLimitClamp(t *testing.T) {
+	c := newResultCache(0) // clamps to 1
+	c.put("a", 1)
+	c.put("b", 2)
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a survived in a 1-entry cache after b was inserted")
+	}
+}
+
+// Concurrent gets and puts must not race (run under -race in CI) and the
+// cache must stay within its limit.
+func TestResultCacheConcurrent(t *testing.T) {
+	c := newResultCache(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (w*7+i)%16)
+				if i%3 == 0 {
+					c.put(key, i)
+				} else {
+					c.get(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.len() > 8 {
+		t.Fatalf("cache grew past its limit: %d", c.len())
+	}
+}

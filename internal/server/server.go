@@ -31,6 +31,7 @@ import (
 	"os"
 	"sync/atomic"
 
+	"pgb/internal/algo"
 	"pgb/internal/core"
 	"pgb/internal/datasets"
 	"pgb/internal/graph"
@@ -311,7 +312,11 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_argument", "source: %v", err)
 		return
 	}
-	syn, err := alg.Generate(g, req.Eps, newSeededRNG(req.Seed))
+	// Same execution as pgb.Generate: the heavy generators shard their
+	// deterministic passes at GOMAXPROCS; the result is bit-identical to
+	// the serial path (DESIGN.md §10), so the response — fingerprint
+	// included — never depends on the schedule.
+	syn, err := algo.GenerateWith(alg, g, req.Eps, newSeededRNG(req.Seed), algo.Params{})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "generation_failed", "%v", err)
 		return

@@ -42,6 +42,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"pgb/internal/algo"
 	"pgb/internal/core"
 	"pgb/internal/datasets"
 	"pgb/internal/graph"
@@ -100,6 +101,12 @@ func LoadDataset(name string, scale float64, seed int64) (*Graph, error) {
 // sequential source is the stable, documented behaviour. The two
 // schemes never mix: a grid cell's generation stream is seeded from its
 // own coordinates, not from this function.
+//
+// Execution: the heavy generators shard their deterministic passes
+// across GOMAXPROCS workers (DESIGN.md §10). This never changes the
+// result — every noise and sampling draw stays on the call's private
+// rng in the serial order, so the output remains the same pure function
+// of (algorithm, g, eps, seed) as the fully serial implementation.
 func Generate(algorithm string, g *Graph, eps float64, seed int64) (*Graph, error) {
 	alg, err := core.NewAlgorithm(algorithm)
 	if err != nil {
@@ -109,7 +116,7 @@ func Generate(algorithm string, g *Graph, eps float64, seed int64) (*Graph, erro
 		return nil, fmt.Errorf("pgb: privacy budget must be positive, got %g", eps)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	return alg.Generate(g, eps, rng)
+	return algo.GenerateWith(alg, g, eps, rng, algo.Params{})
 }
 
 // QueryReport holds the utility comparison of a synthetic graph against
