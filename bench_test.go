@@ -13,6 +13,7 @@
 //	BenchmarkRunGrid/*         — whole-grid serial vs parallel scheduling
 //	BenchmarkTriangles/*       — triangle kernel, serial vs sharded, two scales
 //	BenchmarkBFS/*             — BFS sweep kernel, serial vs sharded, two scales
+//	BenchmarkANF/*             — HyperANF distance estimator (-distance anf)
 //	BenchmarkTmFFilterAblation — TmF high-pass filter vs naive matrix
 //	BenchmarkDPdKSensitivity   — smooth vs global sensitivity (DP-dK)
 //	BenchmarkDGGConstruction   — BTER vs Chung-Lu construction (DGG)
@@ -20,6 +21,7 @@
 //	BenchmarkPrivHRGMCMC       — PrivHRG MCMC-length ablation
 //	BenchmarkDatasets          — dataset stand-in generation cost
 //	BenchmarkServerCompare     — one end-to-end pgb serve /v1/compare request
+//	BenchmarkCompareAlloc      — /v1/compare allocation profile (no HTTP client)
 //
 // Benchmarks use scaled-down datasets (bench scale 0.05–0.1) so the suite
 // completes in minutes; the cmd/pgb harness runs the same code at any
@@ -241,16 +243,19 @@ func BenchmarkTriangles(b *testing.B) {
 }
 
 // BenchmarkBFS measures the Q7-Q9 BFS sweep on the CSR layout, serial
-// versus source-sharded across all cores: the exact all-pairs sweep at
-// small scale, the 128-source sampled sweep at large scale. Distances
-// are bit-identical in every mode (DESIGN.md §2).
+// versus source-sharded: the exact all-pairs sweep at small scale, the
+// 128-source sampled sweep at large scale. Distances are bit-identical
+// in every mode (DESIGN.md §2). The parallel variant pins an explicit
+// worker count — workers=0 resolves to GOMAXPROCS, which is 1 on
+// single-vCPU CI runners and silently turned the serial/parallel
+// comparison into two identical serial runs.
 func BenchmarkBFS(b *testing.B) {
 	small := gen.BarabasiAlbert(2000, 6, rand.New(rand.NewSource(12)))
 	large := gen.BarabasiAlbert(12000, 8, rand.New(rand.NewSource(13)))
 	for _, mode := range []struct {
 		name    string
 		workers int
-	}{{"serial", 1}, {"parallel", 0}} {
+	}{{"serial", 1}, {"parallel", 4}} {
 		b.Run(fmt.Sprintf("%s/exact", mode.name), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -262,6 +267,28 @@ func BenchmarkBFS(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				rng := rand.New(rand.NewSource(int64(i)))
 				stats.SampledDistancesParallel(large, 128, rng, mode.workers, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkANF measures the HyperANF distance estimator on the same
+// large graph BenchmarkBFS samples — the sublinear alternative to the
+// BFS sweep for the Q7-Q9 distance group (-distance anf). Part of the
+// CI pinned subset (README "Benchmarking in CI"); results are
+// bit-identical at every worker count, so only ns/op and allocs/op can
+// move.
+func BenchmarkANF(b *testing.B) {
+	g := gen.BarabasiAlbert(12000, 8, rand.New(rand.NewSource(13)))
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 4}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				stats.ANFDistancesParallel(g, rng, mode.workers, nil)
 			}
 		})
 	}
@@ -426,10 +453,9 @@ func BenchmarkServerCompare(b *testing.B) {
 		b.Fatal(err)
 	}
 
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	post := func(seed int) {
 		body := fmt.Sprintf(`{"truth":{"dataset":"ER","scale":%g,"seed":42},"synthetic":{"graph":%s},"seed":%d,"queries":["|E|","GCC","d_avg","Tri"]}`,
-			benchScale, synJSON, i)
+			benchScale, synJSON, seed)
 		resp, err := http.Post(ts.URL+"/v1/compare", "application/json", strings.NewReader(body))
 		if err != nil {
 			b.Fatal(err)
@@ -439,5 +465,62 @@ func BenchmarkServerCompare(b *testing.B) {
 		if err != nil || resp.StatusCode != http.StatusOK {
 			b.Fatalf("compare status %d: %s", resp.StatusCode, data)
 		}
+	}
+	// One warmup request: the steady-state request cost is the measurement,
+	// not the first connection's dial and pool warmup (CI runs -benchtime 1x,
+	// where a cold first iteration would dominate allocs/op).
+	post(-1)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post(i)
+	}
+}
+
+// BenchmarkCompareAlloc measures the compare hot path's allocation
+// profile without HTTP-client noise: requests go straight into the
+// handler via ServeHTTP. Queries include d_avg under distance_mode=anf
+// — a distance query consumes RNG, so the per-iteration seed defeats
+// both the result cache and the truth-profile cache and every iteration
+// pays the full decode + profile + score path. Gated on allocs/op by
+// benchgate -gate-allocs (README "Benchmarking in CI").
+func BenchmarkCompareAlloc(b *testing.B) {
+	srv, err := server.New(server.Options{DataDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+
+	truth := benchGraph(b, "ER")
+	alg, err := core.NewAlgorithm("TmF")
+	if err != nil {
+		b.Fatal(err)
+	}
+	syn, err := alg.Generate(truth, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	synJSON, err := json.Marshal(syn)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	serve := func(seed int) {
+		body := fmt.Sprintf(`{"truth":{"dataset":"ER","scale":%g,"seed":42},"synthetic":{"graph":%s},"seed":%d,"distance_mode":"anf","queries":["|E|","GCC","d_avg"]}`,
+			benchScale, synJSON, seed)
+		req := httptest.NewRequest(http.MethodPost, "/v1/compare", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("compare status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	serve(-1) // warmup: measure steady state, not scratch-pool cold start
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serve(i)
 	}
 }

@@ -17,6 +17,12 @@
 // require touching the baseline in the same change. To refresh the
 // baseline intentionally, copy the run's BENCH_PR.json over
 // BENCH_BASELINE.json and commit it.
+//
+// With -gate-allocs, allocs/op is gated at the same threshold — unlike
+// ns/op it is deterministic, so a failure is a real allocation
+// regression, never noise. A benchmark whose baseline entry has no
+// allocs/op measurement (or measured zero) is record-don't-gate on the
+// alloc axis, mirroring the missing-benchmark rule.
 package main
 
 import (
@@ -123,14 +129,14 @@ func parse(r io.Reader) (*Manifest, error) {
 // silently uncompared), but they do not fail the gate — seeding the
 // baseline from a trusted run's BENCH_PR.json artifact is a separate,
 // deliberate commit.
-func compare(w io.Writer, base, cur *Manifest, threshold float64) (regressions int) {
+func compare(w io.Writer, base, cur *Manifest, threshold float64, gateAllocs bool) (regressions int) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
-	var gone []string
+	var gone, unseededAllocs []string
 	for _, name := range names {
 		b := base.Benchmarks[name]
 		c, ok := cur.Benchmarks[name]
@@ -148,7 +154,20 @@ func compare(w io.Writer, base, cur *Manifest, threshold float64) (regressions i
 			verdict = "  REGRESSION"
 			regressions++
 		}
+		if gateAllocs {
+			switch {
+			case b.AllocsPerOp > 0 && c.AllocsPerOp > b.AllocsPerOp*(1+threshold):
+				verdict += fmt.Sprintf("  ALLOC-REGRESSION (%.0f -> %.0f allocs/op)", b.AllocsPerOp, c.AllocsPerOp)
+				regressions++
+			case b.AllocsPerOp == 0 && c.AllocsPerOp > 0:
+				unseededAllocs = append(unseededAllocs, name)
+			}
+		}
 		fmt.Fprintf(w, "%-44s %14.0f %14.0f %7.2fx%s\n", name, b.NsPerOp, c.NsPerOp, ratio, verdict)
+	}
+	if len(unseededAllocs) > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) allocate but have no allocs/op baseline (record-don't-gate): %s\n",
+			len(unseededAllocs), strings.Join(unseededAllocs, ", "))
 	}
 	var added []string
 	for name := range cur.Benchmarks {
@@ -193,6 +212,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	out := fs.String("out", "", "write the parsed manifest JSON to this path")
 	baseline := fs.String("baseline", "", "compare against this committed manifest and fail on regressions")
 	threshold := fs.Float64("threshold", 0.25, "allowed slowdown before a benchmark counts as regressed (0.25 = 25%)")
+	gateAllocs := fs.Bool("gate-allocs", false, "also gate allocs/op at the same threshold (record-don't-gate when the baseline has no alloc entry)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -227,7 +247,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if n := compare(stdout, base, cur, *threshold); n > 0 {
+		if n := compare(stdout, base, cur, *threshold, *gateAllocs); n > 0 {
 			return fmt.Errorf("benchgate: %d benchmark(s) regressed more than %.0f%% vs %s", n, *threshold*100, *baseline)
 		}
 		fmt.Fprintf(stdout, "no regressions beyond %.0f%% vs %s\n", *threshold*100, *baseline)

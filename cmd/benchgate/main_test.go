@@ -63,7 +63,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		"BenchmarkNew": {NsPerOp: 10, Samples: 3},
 	}}
 	var sb strings.Builder
-	if n := compare(&sb, base, cur, 0.25); n != 1 {
+	if n := compare(&sb, base, cur, 0.25, false); n != 1 {
 		t.Fatalf("regressions = %d, want 1\n%s", n, sb.String())
 	}
 	out := sb.String()
@@ -84,6 +84,36 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
+func TestCompareGateAllocs(t *testing.T) {
+	base := &Manifest{Schema: schema, Benchmarks: map[string]Result{
+		"BenchmarkA":      {NsPerOp: 100, AllocsPerOp: 1000, Samples: 3},
+		"BenchmarkB":      {NsPerOp: 100, AllocsPerOp: 1000, Samples: 3},
+		"BenchmarkNoBase": {NsPerOp: 100, Samples: 3}, // no alloc entry in baseline
+	}}
+	cur := &Manifest{Schema: schema, Benchmarks: map[string]Result{
+		"BenchmarkA":      {NsPerOp: 100, AllocsPerOp: 1200, Samples: 3}, // +20% allocs — within 25%
+		"BenchmarkB":      {NsPerOp: 100, AllocsPerOp: 1300, Samples: 3}, // +30% allocs — regression
+		"BenchmarkNoBase": {NsPerOp: 100, AllocsPerOp: 50, Samples: 3},
+	}}
+	// without the flag, alloc growth is invisible to the gate
+	var sb strings.Builder
+	if n := compare(&sb, base, cur, 0.25, false); n != 0 {
+		t.Fatalf("without -gate-allocs: regressions = %d, want 0\n%s", n, sb.String())
+	}
+	// with the flag, only B fails; NoBase is record-don't-gate
+	sb.Reset()
+	if n := compare(&sb, base, cur, 0.25, true); n != 1 {
+		t.Fatalf("with -gate-allocs: regressions = %d, want 1\n%s", n, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ALLOC-REGRESSION (1000 -> 1300 allocs/op)") {
+		t.Fatalf("missing alloc regression marker:\n%s", out)
+	}
+	if !strings.Contains(out, "allocate but have no allocs/op baseline (record-don't-gate): BenchmarkNoBase") {
+		t.Fatalf("missing record-don't-gate alloc summary:\n%s", out)
+	}
+}
+
 // A comparison with every benchmark present on both sides must not emit
 // the record-don't-gate summaries.
 func TestCompareNoMissingSummaryWhenAligned(t *testing.T) {
@@ -91,7 +121,7 @@ func TestCompareNoMissingSummaryWhenAligned(t *testing.T) {
 		"BenchmarkA": {NsPerOp: 100, Samples: 3},
 	}}
 	var sb strings.Builder
-	if n := compare(&sb, m, m, 0.25); n != 0 {
+	if n := compare(&sb, m, m, 0.25, false); n != 0 {
 		t.Fatalf("self-comparison regressed: %d", n)
 	}
 	if strings.Contains(sb.String(), "record-don't-gate") || strings.Contains(sb.String(), "not gated") {

@@ -124,6 +124,7 @@ type gridFlags struct {
 	algsStr    *string
 	dsStr      *string
 	queriesStr *string
+	distance   *string
 	verbose    *bool
 	jobs       *int
 	checkpoint *string
@@ -141,6 +142,7 @@ func newGridFlags(name string) *gridFlags {
 		algsStr:    fs.String("algs", "", "comma-separated algorithm subset"),
 		dsStr:      fs.String("datasets", "", "comma-separated dataset subset"),
 		queriesStr: fs.String("queries", "", "comma-separated query symbols to evaluate, e.g. CD,Mod,DegDist (default: all fifteen)"),
+		distance:   fs.String("distance", "", "distance-query estimator: auto (exact small/sampled large, the default), exact, sampled, or anf (HyperANF, bounded error)"),
 		verbose:    fs.Bool("v", false, "print per-cell progress to stderr"),
 		jobs:       fs.Int("jobs", 0, "max concurrent grid cells (0 = GOMAXPROCS); results are identical at any -jobs"),
 		checkpoint: fs.String("checkpoint", "", "stream finished cells to this JSONL run manifest; rerunning with the same path resumes an interrupted run"),
@@ -195,6 +197,13 @@ func (g *gridFlags) config() (core.Config, error) {
 			return cfg, err
 		}
 		cfg.Queries = qs
+	}
+	if *g.distance != "" {
+		mode, err := core.ParseDistanceMode(*g.distance)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.DistanceMode = mode
 	}
 	if *g.verbose {
 		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }

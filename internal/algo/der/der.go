@@ -86,7 +86,7 @@ func (d *DER) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.Grap
 	}
 	levelEps[maxDepth] = remaining
 
-	b := graph.NewBuilder(n)
+	b := graph.NewEdgeSet(n, g.M())
 	var explore func(reg region)
 	explore = func(reg region) {
 		rows := reg.r1 - reg.r0
@@ -156,7 +156,7 @@ func upperCells(reg region) float64 {
 }
 
 // placeUniform samples round(noisy) uniform cells (u < v) in the region.
-func placeUniform(b *graph.Builder, reg region, noisy float64, rng *rand.Rand) {
+func placeUniform(b *graph.EdgeSet, reg region, noisy float64, rng *rand.Rand) {
 	count := int(math.Round(noisy))
 	if count <= 0 {
 		return
@@ -170,10 +170,10 @@ func placeUniform(b *graph.Builder, reg region, noisy float64, rng *rand.Rand) {
 		tries++
 		u := int32(reg.r0 + rng.Intn(reg.r1-reg.r0))
 		v := int32(reg.c0 + rng.Intn(reg.c1-reg.c0))
-		if u >= v || b.HasEdge(u, v) {
+		if u >= v || b.Has(u, v) {
 			continue
 		}
-		_ = b.AddEdge(u, v)
+		b.Add(u, v)
 		placed++
 	}
 }

@@ -173,7 +173,7 @@ func (l *LDPGen) GenerateParallel(g *graph.Graph, eps float64, rng *rand.Rand, p
 	for u := 0; u < n; u++ {
 		members[assign[u]] = append(members[assign[u]], int32(u))
 	}
-	b := graph.NewBuilder(n)
+	b := graph.NewEdgeSet(n, 0)
 	for c := 0; c < k1; c++ {
 		ms := members[c]
 		if len(ms) < 2 {
@@ -186,7 +186,7 @@ func (l *LDPGen) GenerateParallel(g *graph.Graph, eps float64, rng *rand.Rand, p
 		target := gen.SanitizeDegrees(deg)
 		sub := gen.BTER(target, 0, rng)
 		for _, e := range sub.Edges() {
-			_ = b.AddEdge(ms[e.U], ms[e.V])
+			b.Add(ms[e.U], ms[e.V])
 		}
 	}
 	// Inter-cluster: each unordered pair's total is the average of the
@@ -210,10 +210,10 @@ func (l *LDPGen) GenerateParallel(g *graph.Graph, eps float64, rng *rand.Rand, p
 				tries++
 				u := ma[rng.Intn(len(ma))]
 				v := mc[rng.Intn(len(mc))]
-				if b.HasEdge(u, v) {
+				if b.Has(u, v) {
 					continue
 				}
-				_ = b.AddEdge(u, v)
+				b.Add(u, v)
 				placed++
 			}
 		}

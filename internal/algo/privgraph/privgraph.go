@@ -178,7 +178,7 @@ func (p *PrivGraph) GenerateParallel(g *graph.Graph, eps float64, rng *rand.Rand
 	}
 
 	// ---- Phase 3: construction.
-	b := graph.NewBuilder(n)
+	b := graph.NewEdgeSet(n, 0)
 	// Chung-Lu inside each community.
 	for c, ms := range members {
 		if len(ms) < 2 {
@@ -192,7 +192,7 @@ func (p *PrivGraph) GenerateParallel(g *graph.Graph, eps float64, rng *rand.Rand
 		}
 		sub := gen.ChungLu(w, rng)
 		for _, e := range sub.Edges() {
-			_ = b.AddEdge(ms[e.U], ms[e.V])
+			b.Add(ms[e.U], ms[e.V])
 		}
 	}
 	// Uniform bipartite edges between communities, iterating community
@@ -237,10 +237,10 @@ func (p *PrivGraph) GenerateParallel(g *graph.Graph, eps float64, rng *rand.Rand
 			tries++
 			u := ca[rng.Intn(len(ca))]
 			v := cb[rng.Intn(len(cb))]
-			if b.HasEdge(u, v) {
+			if b.Has(u, v) {
 				continue
 			}
-			_ = b.AddEdge(u, v)
+			b.Add(u, v)
 			placed++
 		}
 	}

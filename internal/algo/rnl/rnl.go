@@ -51,7 +51,7 @@ func (r *RNL) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.Grap
 		return nil, err
 	}
 	n := g.N()
-	b := graph.NewBuilder(n)
+	b := graph.NewEdgeSet(n, g.M())
 	if n < 2 {
 		return b.Build(), nil
 	}
@@ -62,7 +62,7 @@ func (r *RNL) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.Grap
 	pIn := 1 - (1-q)*(1-q)
 	for _, e := range g.Edges() {
 		if rng.Float64() < pKeep {
-			_ = b.AddEdge(e.U, e.V)
+			b.Add(e.U, e.V)
 		}
 	}
 	nonEdges := float64(n)*float64(n-1)/2 - float64(g.M())
@@ -75,7 +75,7 @@ func (r *RNL) Generate(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.Grap
 		u := int32(rng.Intn(n))
 		v := int32(rng.Intn(n))
 		if u != v && !g.HasEdge(u, v) {
-			_ = b.AddEdge(u, v)
+			b.Add(u, v)
 		}
 	}
 	return b.Build(), nil

@@ -46,6 +46,10 @@ type manifestHeader struct {
 	PathSamples    int  `json:"path_samples"`
 	EVCIterations  int  `json:"evc_iterations"`
 	ExactDiameter  bool `json:"exact_diameter,omitempty"`
+	// DistanceMode is the resolved Q7–Q9 estimator ("" = auto). It joins
+	// the digest only when non-empty, so manifests written before the
+	// field existed resume unchanged.
+	DistanceMode string `json:"distance_mode,omitempty"`
 }
 
 // manifestCell is one finished cell. Queries are stored per cell so a
@@ -78,6 +82,7 @@ func headerFor(cfg Config) manifestHeader {
 		PathSamples:    popt.PathSamples,
 		EVCIterations:  popt.EVCIterations,
 		ExactDiameter:  popt.ExactDiameter,
+		DistanceMode:   string(cfg.profileOptions().DistanceMode),
 	}
 	h.Digest = h.digest()
 	return h
@@ -99,6 +104,7 @@ func (h manifestHeader) config() Config {
 			PathSamples:    h.PathSamples,
 			EVCIterations:  h.EVCIterations,
 			ExactDiameter:  h.ExactDiameter,
+			DistanceMode:   DistanceMode(h.DistanceMode),
 		},
 	}
 }
@@ -129,6 +135,9 @@ func (h manifestHeader) digest() string {
 	}
 	mix("|reps%d|scale%g|seed%d", h.Reps, h.Scale, h.Seed)
 	mix("|l%d|s%d|i%d|x%t", h.ExactPathLimit, h.PathSamples, h.EVCIterations, h.ExactDiameter)
+	if h.DistanceMode != "" {
+		mix("|dm%s", h.DistanceMode)
+	}
 	return fmt.Sprintf("%016x", f.Sum64())
 }
 

@@ -37,6 +37,36 @@ type Profile struct {
 	Custom          map[QueryID]float64
 }
 
+// DistanceMode selects the estimator behind the Q7–Q9 distance group.
+type DistanceMode string
+
+const (
+	// DistanceAuto is the default: exact all-pairs BFS up to
+	// ExactPathLimit nodes, sampled BFS above it.
+	DistanceAuto DistanceMode = ""
+	// DistanceExact forces all-pairs BFS at any size.
+	DistanceExact DistanceMode = "exact"
+	// DistanceSampled forces sampled-source BFS at any size (graphs
+	// smaller than the sample count still fall back to exact).
+	DistanceSampled DistanceMode = "sampled"
+	// DistanceANF estimates the distance group with HyperANF — bounded
+	// relative error, O(diameter·m) instead of O(n·m), bit-identical at
+	// every worker count (DESIGN.md §11).
+	DistanceANF DistanceMode = "anf"
+)
+
+// ParseDistanceMode validates a user-supplied distance mode string.
+// "auto" and "" both select DistanceAuto.
+func ParseDistanceMode(s string) (DistanceMode, error) {
+	switch DistanceMode(s) {
+	case DistanceAuto, DistanceMode("auto"):
+		return DistanceAuto, nil
+	case DistanceExact, DistanceSampled, DistanceANF:
+		return DistanceMode(s), nil
+	}
+	return DistanceAuto, fmt.Errorf("unknown distance mode %q (want auto, exact, sampled, or anf)", s)
+}
+
 // ProfileOptions tunes the expensive queries and the execution of the
 // profile computation itself.
 type ProfileOptions struct {
@@ -53,6 +83,11 @@ type ProfileOptions struct {
 	// verification appendix, where diameter is compared in absolute
 	// terms rather than relative across algorithms.
 	ExactDiameter bool
+	// DistanceMode selects the Q7–Q9 estimator: auto (exact below
+	// ExactPathLimit, sampled above), exact, sampled, or anf. Unknown
+	// values behave like auto; validate boundary input with
+	// ParseDistanceMode.
+	DistanceMode DistanceMode
 	// Queries restricts the profile to the compute groups these queries
 	// need; nil computes every registered query. Results are identical to
 	// a full profile on the populated fields.
@@ -226,13 +261,31 @@ func profileTasks(g *graph.Graph, opt ProfileOptions, seed int64, p *Profile, wo
 		p.Assortativity = stats.Assortativity(g)
 	})
 	add(GroupTriangles, CostHeavy, func(*rand.Rand) {
-		tri := stats.TrianglesParallel(g, workers, budget)
+		// One forward-orientation pass yields Q3, Q10 and Q11 together.
+		tri, wedges, acc := stats.TriangleProfileParallel(g, workers, budget)
 		p.Triangles = tri
-		p.GCC = stats.GlobalClusteringFrom(tri, stats.Wedges(g))
-		p.ACC = stats.AvgClusteringParallel(g, workers, budget)
+		p.GCC = stats.GlobalClusteringFrom(tri, wedges)
+		p.ACC = acc
 	})
-	add(GroupDistances, CostHeavy, func(rng *rand.Rand) {
-		ds := stats.DistancesParallel(g, opt.ExactPathLimit, opt.PathSamples, rng, workers, budget)
+	// ANF replaces the BFS sweep with O(diameter) register rounds — a
+	// bounded iterative pass, so it schedules as CostMedium rather than
+	// CostHeavy.
+	distCost := CostHeavy
+	if opt.DistanceMode == DistanceANF {
+		distCost = CostMedium
+	}
+	add(GroupDistances, distCost, func(rng *rand.Rand) {
+		var ds stats.DistanceStats
+		switch opt.DistanceMode {
+		case DistanceExact:
+			ds = stats.ExactDistancesParallel(g, workers, budget)
+		case DistanceSampled:
+			ds = stats.SampledDistancesParallel(g, opt.PathSamples, rng, workers, budget)
+		case DistanceANF:
+			ds = stats.ANFDistancesParallel(g, rng, workers, budget)
+		default: // DistanceAuto and unrecognised values
+			ds = stats.DistancesParallel(g, opt.ExactPathLimit, opt.PathSamples, rng, workers, budget)
+		}
 		p.Diameter = ds.Diameter
 		p.AvgPath = ds.AvgPath
 		p.DistanceDist = ds.Distribution
@@ -270,6 +323,38 @@ func profileTasks(g *graph.Graph, opt ProfileOptions, seed int64, p *Profile, wo
 	return tasks
 }
 
+// ProfileSeedInvariant reports whether a profile restricted to queries
+// is independent of its seed: true when no selected pass consumes its
+// RNG stream. Structure, triangle/clustering, and centrality passes are
+// deterministic functions of the graph; the distance group (sampling,
+// ANF hashing), Louvain, and custom queries draw from the seed. Callers
+// can normalise the seed in cache keys for invariant query sets so
+// repeated requests with cosmetically different seeds share one entry.
+// nil selects every registered query, which includes RNG consumers.
+func ProfileSeedInvariant(queries []QueryID) bool {
+	if queries == nil {
+		return false
+	}
+	for _, q := range queries {
+		s, ok := registry.spec(q)
+		if !ok {
+			continue
+		}
+		switch s.Group {
+		case GroupDistances, GroupCommunity, GroupCustom:
+			return false
+		}
+	}
+	return true
+}
+
+// seedInvariant extends ProfileSeedInvariant with the option fields that
+// consume RNG regardless of group (the exact-diameter sweep seeds its
+// iFUB root randomly).
+func (o ProfileOptions) seedInvariant() bool {
+	return !o.ExactDiameter && ProfileSeedInvariant(o.Queries)
+}
+
 // profileCacheKey identifies one (graph, options, seed) profile
 // computation; the graph contributes its structural fingerprint.
 type profileCacheKey struct {
@@ -279,10 +364,15 @@ type profileCacheKey struct {
 
 // optKey canonically encodes everything besides the graph that affects
 // the profile's value. Serial/Workers/Budget are excluded: they change
-// only the schedule, never the result.
+// only the schedule, never the result; the seed is normalised to zero
+// when no selected pass consumes RNG, so seed-invariant profiles share
+// one cache entry.
 func (o ProfileOptions) optKey(seed int64) string {
+	if o.seedInvariant() {
+		seed = 0
+	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "l%d s%d i%d x%t seed%d q", o.ExactPathLimit, o.PathSamples, o.EVCIterations, o.ExactDiameter, seed)
+	fmt.Fprintf(&sb, "l%d s%d i%d x%t m%s seed%d q", o.ExactPathLimit, o.PathSamples, o.EVCIterations, o.ExactDiameter, o.DistanceMode, seed)
 	if o.Queries == nil {
 		fmt.Fprintf(&sb, "all%d", len(RegisteredQueries()))
 	} else {

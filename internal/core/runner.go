@@ -43,7 +43,12 @@ type Config struct {
 	// invariant (DESIGN.md §2). Only the measurement fields (GenSeconds,
 	// GenBytes) vary, as they observe the shared process.
 	Workers int
-	Profile ProfileOptions
+	// DistanceMode selects the Q7–Q9 estimator for every cell profile
+	// (auto/exact/sampled/anf); it is a convenience alias for
+	// Profile.DistanceMode, which wins when both are set. See
+	// ParseDistanceMode for validation of user input.
+	DistanceMode DistanceMode
+	Profile      ProfileOptions
 	// CheckpointPath, when non-empty, streams every finished cell to a
 	// JSONL run manifest at that path (DESIGN.md §5). If the file already
 	// exists and was written by the same configuration, the run resumes:
@@ -111,6 +116,9 @@ func (c Config) Normalized() Config { return c.withDefaults() }
 func (c Config) profileOptions() ProfileOptions {
 	opt := c.Profile
 	opt.Queries = c.Queries
+	if opt.DistanceMode == DistanceAuto {
+		opt.DistanceMode = c.DistanceMode
+	}
 	if opt.Workers == 0 {
 		opt.Workers = c.Workers
 	}

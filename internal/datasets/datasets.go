@@ -169,7 +169,7 @@ func PoliLarge() Spec {
 			// ~45% of nodes sit in disjoint triangles/4-cliques (local
 			// CC 1), the rest in a sparse random forest (local CC 0) —
 			// yielding ACC near the 0.40 target with m ≈ 1.12·n
-			b := graph.NewBuilder(n)
+			edges := make([]graph.Edge, 0, 2*n)
 			cliqueN := int(0.45 * float64(n))
 			u := 0
 			for u+2 < cliqueN {
@@ -179,7 +179,7 @@ func PoliLarge() Spec {
 				}
 				for a := 0; a < size; a++ {
 					for c := a + 1; c < size; c++ {
-						_ = b.AddEdge(int32(u+a), int32(u+c))
+						edges = append(edges, graph.Edge{U: int32(u + a), V: int32(u + c)})
 					}
 				}
 				u += size
@@ -187,9 +187,9 @@ func PoliLarge() Spec {
 			// forest over the remaining nodes
 			for v := cliqueN + 1; v < n; v++ {
 				parent := cliqueN + rng.Intn(v-cliqueN)
-				_ = b.AddEdge(int32(v), int32(parent))
+				edges = append(edges, graph.Canon(int32(v), int32(parent)))
 			}
-			g := b.Build()
+			g := graph.FromEdges(n, edges)
 			return trimToEdges(padToEdges(g, m, rng), m, rng)
 		},
 	}
@@ -243,7 +243,7 @@ func BAGraph() Spec {
 func cliqueGraph(n, m, minSize, maxSize int, rng *rand.Rand) *graph.Graph {
 	avg := float64(minSize+maxSize) / 2
 	edgesPerClique := avg * (avg - 1) / 2
-	b := graph.NewBuilder(n)
+	b := graph.NewEdgeSet(n, m+m/20)
 	for iter := 0; iter < 40 && b.M() < m; iter++ {
 		deficit := m - b.M()
 		batch := int(float64(deficit)/edgesPerClique) + 1
@@ -252,7 +252,7 @@ func cliqueGraph(n, m, minSize, maxSize int, rng *rand.Rand) *graph.Graph {
 			if b.M() >= m+m/20 {
 				break
 			}
-			_ = b.AddEdge(e.U, e.V)
+			b.Add(e.U, e.V)
 		}
 	}
 	return trimToEdges(b.Build(), m, rng)
@@ -275,9 +275,9 @@ func padToEdges(g *graph.Graph, m int, rng *rand.Rand) *graph.Graph {
 	if g.M() >= m {
 		return g
 	}
-	b := graph.NewBuilder(g.N())
+	b := graph.NewEdgeSet(g.N(), m)
 	for e := range g.EdgeSeq() {
-		_ = b.AddEdge(e.U, e.V)
+		b.Add(e.U, e.V)
 	}
 	need := m - g.M()
 	tries := 0
@@ -285,10 +285,10 @@ func padToEdges(g *graph.Graph, m int, rng *rand.Rand) *graph.Graph {
 		tries++
 		u := int32(rng.Intn(g.N()))
 		v := int32(rng.Intn(g.N()))
-		if u == v || b.HasEdge(u, v) {
+		if u == v || b.Has(u, v) {
 			continue
 		}
-		_ = b.AddEdge(u, v)
+		b.Add(u, v)
 		need--
 	}
 	return b.Build()

@@ -19,9 +19,8 @@ import (
 // choice ρ_b = target local clustering; PGB uses a degree-decaying default).
 func BTER(degrees []int, rho float64, rng *rand.Rand) *graph.Graph {
 	n := len(degrees)
-	b := graph.NewBuilder(n)
 	if n == 0 {
-		return b.Build()
+		return graph.FromEdges(0, nil)
 	}
 	if rho <= 0 {
 		rho = 0.9
@@ -45,6 +44,17 @@ func BTER(degrees []int, rho float64, rng *rand.Rand) *graph.Graph {
 	// d is the smallest degree in the block; wire it as ER with connection
 	// probability p = rho * decay, where decay weakens for high-degree
 	// blocks (the canonical BTER parameterisation).
+	//
+	// Edges accumulate in a flat list: blocks are disjoint ranges of
+	// `order` and each unordered pair inside a block is drawn at most
+	// once, so phase 1 cannot propose a duplicate — no membership probe
+	// is needed, and FromEdges dedups the (possible) phase-1/phase-2
+	// collisions exactly as the per-node Builder maps used to.
+	halfMass := 0
+	for _, d := range degrees {
+		halfMass += d
+	}
+	edges := make([]graph.Edge, 0, halfMass/2+1)
 	i := 0
 	for i < len(order) {
 		d := degrees[order[i]]
@@ -66,11 +76,9 @@ func BTER(degrees []int, rho float64, rng *rand.Rand) *graph.Graph {
 			for c := a + 1; c < size; c++ {
 				if rng.Float64() < p {
 					u, v := int32(block[a]), int32(block[c])
-					if !b.HasEdge(u, v) {
-						_ = b.AddEdge(u, v)
-						residual[u]--
-						residual[v]--
-					}
+					edges = append(edges, graph.Canon(u, v))
+					residual[u]--
+					residual[v]--
 				}
 			}
 		}
@@ -84,9 +92,6 @@ func BTER(degrees []int, rho float64, rng *rand.Rand) *graph.Graph {
 			weights[u] = residual[u]
 		}
 	}
-	cl := ChungLu(weights, rng)
-	for e := range cl.EdgeSeq() {
-		_ = b.AddEdge(e.U, e.V)
-	}
-	return b.Build()
+	edges = chungLuEdges(weights, rng, edges)
+	return graph.FromEdges(n, edges)
 }

@@ -18,18 +18,16 @@ func PlantedPartition(n, blocks int, pIn, pOut float64, rng *rand.Rand) *graph.G
 	for u := 0; u < n; u++ {
 		label[u] = u * blocks / n
 	}
-	b := graph.NewBuilder(n)
+	edges := make([]graph.Edge, 0, n*4)
 	// within-block: ER per block
-	size := (n + blocks - 1) / blocks
 	for blk := 0; blk < blocks; blk++ {
 		lo := blk * n / blocks
 		hi := (blk + 1) * n / blocks
 		sub := GNP(hi-lo, pIn, rng)
 		for e := range sub.EdgeSeq() {
-			_ = b.AddEdge(e.U+int32(lo), e.V+int32(lo))
+			edges = append(edges, graph.Edge{U: e.U + int32(lo), V: e.V + int32(lo)})
 		}
 	}
-	_ = size
 	// across-block: sparse ER over all pairs, keep only cross pairs
 	if pOut > 0 {
 		expected := int(pOut * float64(n) * float64(n) / 2)
@@ -37,11 +35,11 @@ func PlantedPartition(n, blocks int, pIn, pOut float64, rng *rand.Rand) *graph.G
 			u := int32(rng.Intn(n))
 			v := int32(rng.Intn(n))
 			if u != v && label[u] != label[v] {
-				_ = b.AddEdge(u, v)
+				edges = append(edges, graph.Canon(u, v))
 			}
 		}
 	}
-	return b.Build()
+	return graph.FromEdges(n, edges)
 }
 
 // CliqueCover generates an overlapping-clique graph in the style of
@@ -51,7 +49,6 @@ func PlantedPartition(n, blocks int, pIn, pOut float64, rng *rand.Rand) *graph.G
 // many cliques. Produces very high clustering; higher reuse trades
 // clustering for hub overlap.
 func CliqueCover(n, numCliques, minSize, maxSize int, reuse float64, rng *rand.Rand) *graph.Graph {
-	b := graph.NewBuilder(n)
 	if maxSize < minSize {
 		maxSize = minSize
 	}
@@ -61,6 +58,7 @@ func CliqueCover(n, numCliques, minSize, maxSize int, reuse float64, rng *rand.R
 	if reuse > 0.9 {
 		reuse = 0.9
 	}
+	edges := make([]graph.Edge, 0, numCliques*maxSize*(maxSize-1)/2)
 	// preferential member pool
 	pool := make([]int32, 0, 4*numCliques)
 	for i := 0; i < numCliques; i++ {
@@ -85,22 +83,22 @@ func CliqueCover(n, numCliques, minSize, maxSize int, reuse float64, rng *rand.R
 		pool = append(pool, list...)
 		for a := 0; a < len(list); a++ {
 			for c := a + 1; c < len(list); c++ {
-				_ = b.AddEdge(list[a], list[c])
+				edges = append(edges, graph.Canon(list[a], list[c]))
 			}
 		}
 	}
-	return b.Build()
+	return graph.FromEdges(n, edges)
 }
 
 // TriadicClosure adds up to extra edges by closing open wedges: pick a
 // random node, join two of its neighbors. Raises the clustering
 // coefficient of an existing graph in place (returns a new graph).
 func TriadicClosure(g *graph.Graph, extra int, rng *rand.Rand) *graph.Graph {
-	b := graph.NewBuilder(g.N())
-	for e := range g.EdgeSeq() {
-		_ = b.AddEdge(e.U, e.V)
-	}
 	n := g.N()
+	s := graph.NewEdgeSet(n, g.M()+extra)
+	for e := range g.EdgeSeq() {
+		s.Add(e.U, e.V)
+	}
 	added, tries := 0, 0
 	for added < extra && tries < extra*20+100 {
 		tries++
@@ -111,11 +109,11 @@ func TriadicClosure(g *graph.Graph, extra int, rng *rand.Rand) *graph.Graph {
 		}
 		a := nb[rng.Intn(len(nb))]
 		c := nb[rng.Intn(len(nb))]
-		if a == c || b.HasEdge(a, c) {
+		if a == c || s.Has(a, c) {
 			continue
 		}
-		_ = b.AddEdge(a, c)
+		s.Add(a, c)
 		added++
 	}
-	return b.Build()
+	return s.Build()
 }

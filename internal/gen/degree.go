@@ -111,18 +111,22 @@ func SanitizeDegrees(noisy []float64) []int {
 // best-effort truncation.
 func HavelHakimi(degrees []int) *graph.Graph {
 	n := len(degrees)
-	b := graph.NewBuilder(n)
 	type nd struct {
 		id  int32
 		rem int
 	}
 	nodes := make([]nd, n)
+	total := 0
 	for i, d := range degrees {
 		nodes[i] = nd{id: int32(i), rem: d}
+		total += d
 	}
+	// Every edge is incident to the round's top node, which is zeroed and
+	// never tops again, so no pair repeats — flat accumulation suffices.
+	edges := make([]graph.Edge, 0, total/2+1)
 	for {
 		sort.Slice(nodes, func(i, j int) bool { return nodes[i].rem > nodes[j].rem })
-		if nodes[0].rem <= 0 {
+		if n == 0 || nodes[0].rem <= 0 {
 			break
 		}
 		k := nodes[0].rem
@@ -134,11 +138,11 @@ func HavelHakimi(degrees []int) *graph.Graph {
 			if nodes[i].rem <= 0 {
 				break
 			}
-			_ = b.AddEdge(nodes[0].id, nodes[i].id)
+			edges = append(edges, graph.Canon(nodes[0].id, nodes[i].id))
 			nodes[i].rem--
 		}
 	}
-	return b.Build()
+	return graph.FromEdges(n, edges)
 }
 
 // ConfigurationModel realises a degree sequence by random stub matching,
@@ -154,11 +158,11 @@ func ConfigurationModel(degrees []int, rng *rand.Rand) *graph.Graph {
 		}
 	}
 	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
-	b := graph.NewBuilder(n)
+	edges := make([]graph.Edge, 0, len(stubs)/2)
 	for i := 0; i+1 < len(stubs); i += 2 {
-		_ = b.AddEdge(stubs[i], stubs[i+1])
+		edges = append(edges, graph.Canon(stubs[i], stubs[i+1]))
 	}
-	return b.Build()
+	return graph.FromEdges(n, edges)
 }
 
 // JointDegreeMatrix holds the dK-2 statistics of a graph: JDM[j][k] is
@@ -273,7 +277,7 @@ func BuildFrom2KEntries(entries []JDMEntry, n int, rng *rand.Rand) *graph.Graph 
 	for i := range classes {
 		classByDeg[classes[i].deg] = &classes[i]
 	}
-	b := graph.NewBuilder(n)
+	b := graph.NewEdgeSet(n, 0)
 	// Distribute each class's exact stub demand over its nodes (capacity
 	// would be ceil(stubs/deg)·deg ≥ stubs; handing every node a full
 	// `deg` overshoots the edge budget when leftovers are matched).
@@ -326,10 +330,10 @@ func BuildFrom2KEntries(entries []JDMEntry, n int, rng *rand.Rand) *graph.Graph 
 			if !ok {
 				break
 			}
-			if b.HasEdge(u, v) {
+			if b.Has(u, v) {
 				continue // skip duplicate; residual stubs stay for later matching
 			}
-			_ = b.AddEdge(u, v)
+			b.Add(u, v)
 			remaining[u]--
 			remaining[v]--
 		}
@@ -347,7 +351,7 @@ func BuildFrom2KEntries(entries []JDMEntry, n int, rng *rand.Rand) *graph.Graph 
 	}
 	rng.Shuffle(len(leftover), func(i, j int) { leftover[i], leftover[j] = leftover[j], leftover[i] })
 	for i := 0; i+1 < len(leftover); i += 2 {
-		_ = b.AddEdge(leftover[i], leftover[i+1])
+		b.Add(leftover[i], leftover[i+1])
 	}
 	return b.Build()
 }

@@ -47,7 +47,7 @@ func KroneckerLevels(n int) int {
 // entries. Duplicate proposals and self-loops are dropped, matching the
 // standard SKG sampler. If n < 2^k, endpoints outside [0, n) are rejected.
 func SampleKronecker(t Initiator, k, n, targetEdges int, rng *rand.Rand) *graph.Graph {
-	b := graph.NewBuilder(n)
+	b := graph.NewEdgeSet(n, targetEdges)
 	sum := t.Sum()
 	if sum <= 0 || k <= 0 {
 		return b.Build()
@@ -80,10 +80,9 @@ func SampleKronecker(t Initiator, k, n, targetEdges int, rng *rand.Rand) *graph.
 		if u == v || u >= int64(n) || v >= int64(n) {
 			continue
 		}
-		if b.HasEdge(int32(u), int32(v)) {
+		if !b.Add(int32(u), int32(v)) {
 			continue
 		}
-		_ = b.AddEdge(int32(u), int32(v))
 		added++
 	}
 	return b.Build()

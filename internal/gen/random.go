@@ -4,6 +4,16 @@
 // Kronecker sampling — plus the structured generators (grids, planted
 // communities, clique covers, triadic closure) used to simulate the
 // benchmark's real-world datasets offline.
+//
+// Construction discipline: generators whose control flow never reads the
+// partial edge set accumulate a flat []graph.Edge and finish with
+// graph.FromEdges (duplicates and self-loops are dropped there, exactly
+// as the legacy per-node Builder maps dropped them, so outputs are
+// bit-identical); generators that probe membership mid-loop (rejection
+// sampling, rewiring) use graph.EdgeSet, which keeps the probe O(1) on a
+// single hash set instead of one map per node. Either way the RNG draw
+// sequence is untouched, so every graph remains the same pure function
+// of its seed as before the refactor.
 package gen
 
 import (
@@ -21,7 +31,6 @@ func GNM(n, m int, rng *rand.Rand) *graph.Graph {
 	if m > maxM {
 		m = maxM
 	}
-	b := graph.NewBuilder(n)
 	// Dense regime: sample by enumeration; sparse: rejection sampling.
 	if m > maxM/2 && n <= 4096 {
 		// Reservoir over all pairs.
@@ -32,39 +41,36 @@ func GNM(n, m int, rng *rand.Rand) *graph.Graph {
 			}
 		}
 		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
-		for _, e := range edges[:m] {
-			_ = b.AddEdge(e.U, e.V)
-		}
-		return b.Build()
+		return graph.FromEdges(n, edges[:m])
 	}
-	added := 0
-	for added < m {
+	s := graph.NewEdgeSet(n, m)
+	for s.M() < m {
 		u := int32(rng.Intn(n))
 		v := int32(rng.Intn(n))
-		if u == v || b.HasEdge(u, v) {
+		if u == v || s.Has(u, v) {
 			continue
 		}
-		_ = b.AddEdge(u, v)
-		added++
+		s.Add(u, v)
 	}
-	return b.Build()
+	return s.Build()
 }
 
 // GNP returns an Erdős–Rényi G(n, p) graph using geometric skipping
 // (Batagelj-Brandes), O(n + m) expected time.
 func GNP(n int, p float64, rng *rand.Rand) *graph.Graph {
-	b := graph.NewBuilder(n)
 	if p <= 0 || n < 2 {
-		return b.Build()
+		return graph.FromEdges(n, nil)
 	}
 	if p >= 1 {
+		edges := make([]graph.Edge, 0, n*(n-1)/2)
 		for u := int32(0); u < int32(n); u++ {
 			for v := u + 1; v < int32(n); v++ {
-				_ = b.AddEdge(u, v)
+				edges = append(edges, graph.Edge{U: u, V: v})
 			}
 		}
-		return b.Build()
+		return graph.FromEdges(n, edges)
 	}
+	edges := make([]graph.Edge, 0, int(p*float64(n)*float64(n-1)/2)+16)
 	lp := math.Log(1 - p)
 	v := 1
 	w := -1
@@ -76,10 +82,10 @@ func GNP(n int, p float64, rng *rand.Rand) *graph.Graph {
 			v++
 		}
 		if v < n {
-			_ = b.AddEdge(int32(v), int32(w))
+			edges = append(edges, graph.Edge{U: int32(w), V: int32(v)})
 		}
 	}
-	return b.Build()
+	return graph.FromEdges(n, edges)
 }
 
 // BarabasiAlbert returns a preferential-attachment graph: starting from a
@@ -92,12 +98,12 @@ func BarabasiAlbert(n, mAttach int, rng *rand.Rand) *graph.Graph {
 	if n <= mAttach {
 		return GNM(n, n*(n-1)/2, rng)
 	}
-	b := graph.NewBuilder(n)
+	edges := make([]graph.Edge, 0, n*mAttach)
 	// repeated-nodes list implements preferential attachment in O(1)/draw
 	repeated := make([]int32, 0, 2*n*mAttach)
 	// seed: star over the first mAttach+1 nodes
 	for i := 1; i <= mAttach; i++ {
-		_ = b.AddEdge(0, int32(i))
+		edges = append(edges, graph.Edge{U: 0, V: int32(i)})
 		repeated = append(repeated, 0, int32(i))
 	}
 	// targets keeps draw order: appending to `repeated` in map-iteration
@@ -120,11 +126,11 @@ func BarabasiAlbert(n, mAttach int, rng *rand.Rand) *graph.Graph {
 			targets = append(targets, t)
 		}
 		for _, t := range targets {
-			_ = b.AddEdge(u, t)
+			edges = append(edges, graph.Canon(u, t))
 			repeated = append(repeated, u, t)
 		}
 	}
-	return b.Build()
+	return graph.FromEdges(n, edges)
 }
 
 // ChungLu samples a graph where edge {u,v} appears with probability
@@ -132,10 +138,18 @@ func BarabasiAlbert(n, mAttach int, rng *rand.Rand) *graph.Graph {
 // Implemented with the efficient sorted-weight skipping algorithm
 // (Miller & Hagberg 2011), O(n + m) expected.
 func ChungLu(weights []float64, rng *rand.Rand) *graph.Graph {
+	return graph.FromEdges(len(weights), chungLuEdges(weights, rng, nil))
+}
+
+// chungLuEdges appends the Chung-Lu edge sample to dst and returns the
+// extended slice — the allocation-light core of ChungLu, used directly
+// by BTER's phase 2 so the sample never round-trips through a second
+// graph. Every emitted pair is distinct (i < j over a permutation), so
+// callers may feed the result straight to FromEdges.
+func chungLuEdges(weights []float64, rng *rand.Rand, dst []graph.Edge) []graph.Edge {
 	n := len(weights)
-	b := graph.NewBuilder(n)
 	if n < 2 {
-		return b.Build()
+		return dst
 	}
 	sum := 0.0
 	for _, w := range weights {
@@ -144,7 +158,7 @@ func ChungLu(weights []float64, rng *rand.Rand) *graph.Graph {
 		}
 	}
 	if sum <= 0 {
-		return b.Build()
+		return dst
 	}
 	// order nodes by weight, descending
 	order := make([]int, n)
@@ -172,13 +186,13 @@ func ChungLu(weights []float64, rng *rand.Rand) *graph.Graph {
 			v := order[j]
 			q := math.Min(1, wu*weights[v]/sum)
 			if rng.Float64() < q/p {
-				_ = b.AddEdge(int32(u), int32(v))
+				dst = append(dst, graph.Canon(int32(u), int32(v)))
 			}
 			p = q
 			j++
 		}
 	}
-	return b.Build()
+	return dst
 }
 
 func sortByWeightDesc(order []int, weights []float64) {
@@ -216,10 +230,10 @@ func quickSortDesc(order []int, w []float64, lo, hi int) {
 // WattsStrogatz returns a small-world ring lattice with n nodes, k
 // neighbors per side (degree 2k) and rewiring probability beta.
 func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) *graph.Graph {
-	b := graph.NewBuilder(n)
 	if n < 3 || k < 1 {
-		return b.Build()
+		return graph.FromEdges(n, nil)
 	}
+	s := graph.NewEdgeSet(n, n*k)
 	for u := 0; u < n; u++ {
 		for d := 1; d <= k; d++ {
 			v := (u + d) % n
@@ -227,16 +241,16 @@ func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) *graph.Graph {
 				// rewire to a random non-neighbor
 				for tries := 0; tries < 16; tries++ {
 					w := int32(rng.Intn(n))
-					if int(w) != u && !b.HasEdge(int32(u), w) {
+					if int(w) != u && !s.Has(int32(u), w) {
 						v = int(w)
 						break
 					}
 				}
 			}
-			_ = b.AddEdge(int32(u), int32(v))
+			s.Add(int32(u), int32(v))
 		}
 	}
-	return b.Build()
+	return s.Build()
 }
 
 // Grid2D returns an rows×cols lattice graph (used to simulate road
@@ -244,24 +258,24 @@ func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) *graph.Graph {
 // dropProb fraction of lattice edges removed, to roughen the mesh.
 func Grid2D(rows, cols int, dropProb float64, extraEdges int, rng *rand.Rand) *graph.Graph {
 	n := rows * cols
-	b := graph.NewBuilder(n)
+	edges := make([]graph.Edge, 0, 2*n+extraEdges)
 	id := func(r, c int) int32 { return int32(r*cols + c) }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols && rng.Float64() >= dropProb {
-				_ = b.AddEdge(id(r, c), id(r, c+1))
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1)})
 			}
 			if r+1 < rows && rng.Float64() >= dropProb {
-				_ = b.AddEdge(id(r, c), id(r+1, c))
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c)})
 			}
 		}
 	}
 	for i := 0; i < extraEdges; i++ {
 		u := int32(rng.Intn(n))
 		v := int32(rng.Intn(n))
-		_ = b.AddEdge(u, v)
+		edges = append(edges, graph.Canon(u, v))
 	}
-	return b.Build()
+	return graph.FromEdges(n, edges)
 }
 
 // PowerLawWeights returns n Chung-Lu weights following a discrete power

@@ -351,6 +351,75 @@ func FromEdges(n int, edges []Edge) *Graph {
 	return &Graph{n: n, m: int(w / 2), off: off, nbr: nbr[:w:w]}
 }
 
+// EdgeSet accumulates distinct undirected edges with O(1) membership
+// probes, backed by one hash set keyed on the packed canonical pair plus
+// a flat edge list — the cheap mutable companion of FromEdges for
+// generator loops whose control flow (rejection sampling, rewiring,
+// budget checks) depends on which edges exist so far. Compared to
+// Builder it allocates one map instead of one per node, and Build goes
+// through the direct-CSR FromEdges path. Semantics match Builder
+// exactly: self-loops, duplicates, and out-of-range endpoints are
+// silently dropped.
+type EdgeSet struct {
+	n     int
+	set   map[uint64]struct{}
+	edges []Edge
+}
+
+// NewEdgeSet returns an EdgeSet over n nodes; capHint sizes the
+// internal set and edge list (0 is fine).
+func NewEdgeSet(n, capHint int) *EdgeSet {
+	if n < 0 {
+		n = 0
+	}
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &EdgeSet{
+		n:     n,
+		set:   make(map[uint64]struct{}, capHint),
+		edges: make([]Edge, 0, capHint),
+	}
+}
+
+func packEdge(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// Has reports whether the undirected edge {u, v} has been added.
+func (s *EdgeSet) Has(u, v int32) bool {
+	if u < 0 || v < 0 || int(u) >= s.n || int(v) >= s.n || u == v {
+		return false
+	}
+	_, ok := s.set[packEdge(u, v)]
+	return ok
+}
+
+// Add inserts the undirected edge {u, v}, ignoring self-loops,
+// duplicates, and out-of-range endpoints, and reports whether the edge
+// was new.
+func (s *EdgeSet) Add(u, v int32) bool {
+	if u < 0 || v < 0 || int(u) >= s.n || int(v) >= s.n || u == v {
+		return false
+	}
+	key := packEdge(u, v)
+	if _, dup := s.set[key]; dup {
+		return false
+	}
+	s.set[key] = struct{}{}
+	s.edges = append(s.edges, Canon(u, v))
+	return true
+}
+
+// M returns the number of distinct edges added so far.
+func (s *EdgeSet) M() int { return len(s.edges) }
+
+// Build finalizes the accumulated edges into an immutable CSR Graph.
+func (s *EdgeSet) Build() *Graph { return FromEdges(s.n, s.edges) }
+
 // FromAdjacency constructs a graph from raw (possibly unsorted,
 // possibly asymmetric) adjacency lists; edges are symmetrized.
 func FromAdjacency(adj [][]int32) *Graph {

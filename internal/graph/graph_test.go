@@ -351,3 +351,35 @@ func TestQuickHasEdgeConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// property: EdgeSet matches Builder step for step — same Has answers
+// mid-construction (the generator control-flow contract), same M, and an
+// identical built graph — for arbitrary candidate streams with
+// self-loops, duplicates, and out-of-range endpoints.
+func TestQuickEdgeSetMatchesBuilder(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN%40) + 2
+		b := NewBuilder(n)
+		s := NewEdgeSet(n, 0)
+		for i := 0; i < 6*n; i++ {
+			u := int32(rng.Intn(n+2) - 1)
+			v := int32(rng.Intn(n+2) - 1)
+			if b.HasEdge(u, v) != s.Has(u, v) {
+				return false
+			}
+			wasNew := !b.HasEdge(u, v) && u != v && u >= 0 && v >= 0 && int(u) < n && int(v) < n
+			_ = b.AddEdge(u, v)
+			if s.Add(u, v) != wasNew {
+				return false
+			}
+			if b.HasEdge(u, v) != s.Has(u, v) || b.M() != s.M() {
+				return false
+			}
+		}
+		return s.Build().Fingerprint() == b.Build().Fingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

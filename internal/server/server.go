@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sync"
 	"sync/atomic"
 
 	"pgb/internal/algo"
@@ -235,10 +236,54 @@ func (ref *graphRef) resolve() (*graph.Graph, error) {
 		if seed == 0 {
 			seed = 42
 		}
-		return spec.Load(scale, seed), nil
+		return loadDatasetCached(spec, scale, seed), nil
 	default:
 		return nil, errors.New(`a graph reference needs "graph" or "dataset"`)
 	}
+}
+
+// datasetGraphCache memoises dataset loads: spec.Load is deterministic
+// in (name, scale, seed), and regenerating a dataset per request was the
+// dominant allocation source of the compare path (>90% of its allocs).
+// Entries are whole graphs, so the cache is kept small LRU.
+var datasetGraphCache = struct {
+	sync.Mutex
+	entries map[datasetKey]*graph.Graph
+	order   []datasetKey
+}{entries: make(map[datasetKey]*graph.Graph)}
+
+type datasetKey struct {
+	name  string
+	scale float64
+	seed  int64
+}
+
+const datasetGraphCacheLimit = 16
+
+func loadDatasetCached(spec datasets.Spec, scale float64, seed int64) *graph.Graph {
+	key := datasetKey{name: spec.Name, scale: scale, seed: seed}
+	datasetGraphCache.Lock()
+	if g, ok := datasetGraphCache.entries[key]; ok {
+		datasetGraphCache.Unlock()
+		return g
+	}
+	datasetGraphCache.Unlock()
+
+	g := spec.Load(scale, seed)
+
+	datasetGraphCache.Lock()
+	defer datasetGraphCache.Unlock()
+	if existing, ok := datasetGraphCache.entries[key]; ok {
+		return existing
+	}
+	if len(datasetGraphCache.order) >= datasetGraphCacheLimit {
+		oldest := datasetGraphCache.order[0]
+		datasetGraphCache.order = datasetGraphCache.order[1:]
+		delete(datasetGraphCache.entries, oldest)
+	}
+	datasetGraphCache.entries[key] = g
+	datasetGraphCache.order = append(datasetGraphCache.order, key)
+	return g
 }
 
 // ---- meta / health / version ------------------------------------------
@@ -340,6 +385,9 @@ type compareRequest struct {
 	Seed      int64    `json:"seed"`
 	// Queries restricts the report to these symbols; empty = all.
 	Queries []string `json:"queries,omitempty"`
+	// DistanceMode selects the Q7–Q9 estimator: "auto" (default),
+	// "exact", "sampled", or "anf" (HyperANF, bounded error).
+	DistanceMode string `json:"distance_mode,omitempty"`
 }
 
 // compareRow is one query's outcome on the wire.
@@ -377,6 +425,11 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	mode, err := core.ParseDistanceMode(req.DistanceMode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
+		return
+	}
 	truth, err := req.Truth.resolve()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_argument", "truth: %v", err)
@@ -388,16 +441,23 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Content address: both graph fingerprints, the seed, and the query
-	// list (order included — it is the row order of the response).
-	key := fmt.Sprintf("cmp|%016x|%016x|%d|%v", truth.Fingerprint(), syn.Fingerprint(), req.Seed, queries)
+	// Content address: both graph fingerprints, the seed, the distance
+	// mode, and the query list (order included — it is the row order of
+	// the response). For query sets whose profiles never consume RNG the
+	// seed is normalised to zero: the rows are seed-invariant, so
+	// cosmetically different seeds share one cache entry.
+	keySeed := req.Seed
+	if core.ProfileSeedInvariant(queries) {
+		keySeed = 0
+	}
+	key := fmt.Sprintf("cmp|%016x|%016x|%d|%s|%v", truth.Fingerprint(), syn.Fingerprint(), keySeed, mode, queries)
 	if v, ok := s.cache.get(key); ok {
 		writeJSON(w, http.StatusOK, map[string]any{"rows": v, "cached": true})
 		return
 	}
 	s.compares.Add(1)
 
-	opt := core.ProfileOptions{Queries: queries}
+	opt := core.ProfileOptions{Queries: queries, DistanceMode: mode}
 	pt := core.ComputeProfileCached(truth, opt, core.SubSeed(req.Seed, 0))
 	ps := core.ComputeProfileSeeded(syn, opt, core.SubSeed(req.Seed, 1))
 	rows := make([]compareRow, 0, len(queries))
@@ -425,6 +485,9 @@ type runRequest struct {
 	Reps       int       `json:"reps,omitempty"`
 	Scale      float64   `json:"scale,omitempty"`
 	Seed       int64     `json:"seed,omitempty"`
+	// DistanceMode selects the Q7–Q9 estimator for every cell profile:
+	// "auto" (default), "exact", "sampled", or "anf".
+	DistanceMode string `json:"distance_mode,omitempty"`
 }
 
 func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
@@ -455,13 +518,19 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_argument", "scale %g outside (0, 1]", req.Scale)
 		return
 	}
+	mode, err := core.ParseDistanceMode(req.DistanceMode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
+		return
+	}
 	cfg := core.Config{
-		Algorithms: req.Algorithms,
-		Datasets:   req.Datasets,
-		Epsilons:   req.Epsilons,
-		Reps:       req.Reps,
-		Scale:      req.Scale,
-		Seed:       req.Seed,
+		Algorithms:   req.Algorithms,
+		Datasets:     req.Datasets,
+		Epsilons:     req.Epsilons,
+		Reps:         req.Reps,
+		Scale:        req.Scale,
+		Seed:         req.Seed,
+		DistanceMode: mode,
 	}
 	if len(req.Queries) > 0 {
 		qs, err := core.ParseQueries(req.Queries)

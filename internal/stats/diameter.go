@@ -13,7 +13,10 @@ import (
 // tightening a lower bound until it meets the level-derived upper bound.
 // On real-world graphs iFUB typically needs only a handful of BFS runs —
 // far cheaper than all-pairs — while remaining exact, unlike the sampled
-// lower bound used for the bulk benchmark runs.
+// lower bound used for the bulk benchmark runs. All BFS sweeps, including
+// the per-level eccentricity probes, share one pooled Scratch, so the
+// whole computation allocates O(1) arrays regardless of how many sweeps
+// iFUB ends up needing.
 func ExactDiameter(g *graph.Graph, rng *rand.Rand) int {
 	n := g.N()
 	if n == 0 || g.M() == 0 {
@@ -22,21 +25,28 @@ func ExactDiameter(g *graph.Graph, rng *rand.Rand) int {
 	comp := g.LargestComponent()
 	start := comp[rng.Intn(len(comp))]
 
+	sc := getScratch()
+	defer sc.Release()
+	queue := sc.queue(n)
+
 	// double sweep: BFS from start → farthest node a; BFS from a →
 	// farthest node b. ecc(a) is a strong diameter lower bound, and the
-	// midpoint of the a-b path is a good iFUB root.
-	distA, a := bfsFarthest(g, start)
-	_ = distA
-	distFromA, b := bfsFarthest(g, a)
-	lower := int(distFromA[b])
+	// midpoint of the a-b path is a good iFUB root. The first sweep's
+	// distances are not needed — only the farthest node a — so the same
+	// plane is immediately reused for the sweep from a.
+	distA := sc.dist(n)
+	a := bfsFarthestInto(g, start, distA, queue)
+	b := bfsFarthestInto(g, a, distA, queue)
+	lower := int(distA[b])
 
 	// root: node halfway along the a→b path — approximate by the node
 	// with minimal max(dist(a,·), dist(b,·)).
-	distFromB, _ := bfsFarthest(g, b)
+	distB := sc.distB(n)
+	bfsFarthestInto(g, b, distB, queue)
 	root := a
 	best := int32(1 << 30)
 	for _, u := range comp {
-		da, db := distFromA[u], distFromB[u]
+		da, db := distA[u], distB[u]
 		if da < 0 || db < 0 {
 			continue
 		}
@@ -51,7 +61,8 @@ func ExactDiameter(g *graph.Graph, rng *rand.Rand) int {
 	}
 
 	// iFUB: levels of the BFS tree from root, processed top-down.
-	distRoot, _ := bfsFarthest(g, root)
+	distRoot := sc.distC(n)
+	bfsFarthestInto(g, root, distRoot, queue)
 	maxLevel := int32(0)
 	for _, u := range comp {
 		if distRoot[u] > maxLevel {
@@ -64,6 +75,7 @@ func ExactDiameter(g *graph.Graph, rng *rand.Rand) int {
 			levels[d] = append(levels[d], u)
 		}
 	}
+	// distA and distB are free again; the probe sweeps reuse distA.
 	for level := maxLevel; level >= 1; level-- {
 		// upper bound: any node below this level has eccentricity
 		// at most 2·level
@@ -71,8 +83,8 @@ func ExactDiameter(g *graph.Graph, rng *rand.Rand) int {
 			return lower
 		}
 		for _, u := range levels[level] {
-			dist, far := bfsFarthest(g, u)
-			if ecc := int(dist[far]); ecc > lower {
+			far := bfsFarthestInto(g, u, distA, queue)
+			if ecc := int(distA[far]); ecc > lower {
 				lower = ecc
 			}
 		}
@@ -80,16 +92,16 @@ func ExactDiameter(g *graph.Graph, rng *rand.Rand) int {
 	return lower
 }
 
-// bfsFarthest runs BFS from s, returning the distance array (-1 for
-// unreachable) and one farthest reachable node.
-func bfsFarthest(g *graph.Graph, s int32) ([]int32, int32) {
-	n := g.N()
-	dist := make([]int32, n)
+// bfsFarthestInto runs BFS from s into caller-provided dist and queue
+// arrays (both length ≥ g.N()), returning one farthest reachable node.
+// dist is fully reinitialised (-1 for unreachable), so the arrays may be
+// reused across calls without clearing.
+func bfsFarthestInto(g *graph.Graph, s int32, dist, queue []int32) int32 {
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[s] = 0
-	queue := make([]int32, 0, n)
+	queue = queue[:0]
 	queue = append(queue, s)
 	far := s
 	for head := 0; head < len(queue); head++ {
@@ -104,5 +116,5 @@ func bfsFarthest(g *graph.Graph, s int32) ([]int32, int32) {
 			}
 		}
 	}
-	return dist, far
+	return far
 }

@@ -52,99 +52,199 @@ func TrianglesParallel(g *graph.Graph, workers int, budget *par.Budget) float64 
 	if n == 0 {
 		return 0
 	}
-	rank := degreeRank(g)
-	// forward CSR: higher-rank neighbors only, flat arena like the graph
-	// itself so shard scans stay contiguous
-	fwdOff := make([]int64, n+1)
-	for u := 0; u < n; u++ {
-		c := int64(0)
-		for _, v := range g.Neighbors(int32(u)) {
-			if rank[v] > rank[u] {
-				c++
-			}
-		}
-		fwdOff[u+1] = fwdOff[u] + c
-	}
-	fwdNbr := make([]int32, fwdOff[n])
-	for u := 0; u < n; u++ {
-		w := fwdOff[u]
-		for _, v := range g.Neighbors(int32(u)) {
-			if rank[v] > rank[u] {
-				fwdNbr[w] = v
-				w++
-			}
-		}
-	}
+	s := getScratch()
+	defer s.Release()
+	fwdOff, fwdNbr, _ := forwardCSR(g, s)
 	workers = normWorkers(workers, n)
 	if workers == 1 {
-		return float64(countFwdTriangles(fwdOff, fwdNbr, 0, n, make([]bool, n)))
+		return float64(countFwdTriangles(fwdOff, fwdNbr, 0, n))
 	}
 	chunks := chunkByMass(fwdOff, 8*workers)
 	claim := par.Queue(len(chunks) - 1)
 	var total atomic.Int64
 	budget.Do(workers-1, func() {
-		mark := make([]bool, n)
 		local := int64(0)
 		for i, ok := claim(); ok; i, ok = claim() {
-			local += countFwdTriangles(fwdOff, fwdNbr, chunks[i], chunks[i+1], mark)
+			local += countFwdTriangles(fwdOff, fwdNbr, chunks[i], chunks[i+1])
 		}
 		total.Add(local)
 	})
 	return float64(total.Load())
 }
 
-// degreeRank orders nodes by (degree, id) via counting sort and returns
-// the rank per node — the orientation that makes every triangle counted
-// exactly once by forward intersection.
-func degreeRank(g *graph.Graph) []int32 {
+// degreeRankInto orders nodes by (degree, id) via counting sort over the
+// flat cnt array (length ≥ maxDegree+2, caller scratch) and fills rank —
+// the orientation that makes every triangle counted exactly once by
+// forward intersection.
+func degreeRankInto(g *graph.Graph, rank []int32, cnt []int32) {
 	n := g.N()
-	rank := make([]int32, n)
-	deg := g.Degrees()
-	maxD := 0
-	for _, d := range deg {
-		if d > maxD {
-			maxD = d
-		}
+	for i := range cnt {
+		cnt[i] = 0
 	}
-	buckets := make([][]int32, maxD+1)
 	for u := 0; u < n; u++ {
-		buckets[deg[u]] = append(buckets[deg[u]], int32(u))
+		cnt[g.Degree(int32(u))+1]++
 	}
-	r := int32(0)
-	for _, b := range buckets {
-		for _, u := range b {
-			rank[u] = r
-			r++
+	for d := 1; d < len(cnt); d++ {
+		cnt[d] += cnt[d-1]
+	}
+	// Node-ID order within a degree class reproduces the (degree, id)
+	// ordering of the legacy bucket sort.
+	for u := 0; u < n; u++ {
+		d := g.Degree(int32(u))
+		rank[u] = cnt[d]
+		cnt[d]++
+	}
+}
+
+// forwardCSR builds the degree-ordered forward orientation in rank
+// space: node r's list holds the ranks (> r) of its higher-rank
+// neighbors, sorted ascending by construction — rank s is scattered to
+// its lower-rank neighbors in increasing s, so every segment comes out
+// sorted without a per-segment sort. Sorted segments are what lets the
+// triangle kernels intersect by merging/galloping instead of probing an
+// O(n) mark array. All arrays live in s and die with it; rank maps
+// original node IDs to rank space.
+func forwardCSR(g *graph.Graph, s *Scratch) (off []int64, nbr []int32, rank []int32) {
+	n := g.N()
+	rank = s.rank(n)
+	degreeRankInto(g, rank, s.i32scr(n+1))
+	origOf := s.origOf(n)
+	for u := 0; u < n; u++ {
+		origOf[rank[u]] = int32(u)
+	}
+	off = s.offs(n + 1)
+	off[0] = 0
+	for r := 0; r < n; r++ {
+		u := origOf[r]
+		c := int64(0)
+		ru := rank[u]
+		for _, v := range g.Neighbors(u) {
+			if rank[v] > ru {
+				c++
+			}
+		}
+		off[r+1] = off[r] + c
+	}
+	nbr = s.fwdNbr(int(off[n]))
+	pos := s.counts(n)
+	copy(pos, off[:n])
+	for sr := 0; sr < n; sr++ {
+		u := origOf[sr]
+		for _, v := range g.Neighbors(u) {
+			if r := rank[v]; r < int32(sr) {
+				nbr[pos[r]] = int32(sr)
+				pos[r]++
+			}
 		}
 	}
-	return rank
+	return off, nbr, rank
 }
 
 // countFwdTriangles counts triangles rooted at nodes [lo, hi) of the
-// forward adjacency. mark is caller-owned scratch of length n, false on
-// entry and on return.
-func countFwdTriangles(off []int64, nbr []int32, lo, hi int, mark []bool) int64 {
+// rank-space forward adjacency by sorted-list intersection: a triangle
+// r < s < t appears exactly once, as t ∈ fwd(r) ∩ fwd(s) with s ∈
+// fwd(r). Each pair is intersected with probeCount — a textbook
+// two-pointer merge is a serial dependency chain the pipeline cannot
+// overlap, and measured ~1.6× slower here than probing the shorter
+// list into the longer.
+func countFwdTriangles(off []int64, nbr []int32, lo, hi int) int64 {
 	count := int64(0)
 	for u := lo; u < hi; u++ {
-		fu := nbr[off[u]:off[u+1]]
-		if len(fu) == 0 {
-			continue
-		}
-		for _, v := range fu {
-			mark[v] = true
-		}
-		for _, v := range fu {
-			for _, w := range nbr[off[v]:off[v+1]] {
-				if mark[w] {
-					count++
-				}
+		ue := off[u+1]
+		for p := off[u]; p < ue; p++ {
+			v := nbr[p]
+			a := nbr[p+1 : ue]
+			b := nbr[off[v]:off[v+1]]
+			if len(a) == 0 || len(b) == 0 {
+				continue
 			}
-		}
-		for _, v := range fu {
-			mark[v] = false
+			count += probeCount(a, b)
 		}
 	}
 	return count
+}
+
+// probeCount returns |a ∩ b| for sorted slices: each element of the
+// shorter list binary-searches the longer one. The search step is
+// branchless (the comparison becomes an arithmetic mask, compiled to
+// conditional moves), so consecutive probes overlap in the pipeline
+// instead of mispredicting — unlike a merge, whose pointer advance is
+// a loop-carried dependency. Range pruning against b's endpoints skips
+// probes that cannot match; ranks are < 2³¹, so the int32 subtraction
+// below cannot overflow.
+func probeCount(a, b []int32) int64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var c int64
+	b0, bl := b[0], b[len(b)-1]
+	for _, x := range a {
+		if x > bl {
+			break
+		}
+		if x < b0 {
+			continue
+		}
+		base, n := 0, len(b)
+		for n > 1 {
+			half := n >> 1
+			lt := int(uint32(b[base+half-1]-x) >> 31)
+			base += half & -lt
+			n -= half
+		}
+		if b[base] == x {
+			c++
+		}
+	}
+	return c
+}
+
+// perNodeFwdTriangles adds each triangle rooted in [lo, hi) to the
+// per-rank-node counters of all three corners. Adds are atomic — corner
+// slots s and t belong to other shards — and integer addition is
+// order-free, so cnt is bit-identical at any worker count.
+func perNodeFwdTriangles(off []int64, nbr []int32, lo, hi int, cnt []int64) {
+	for u := lo; u < hi; u++ {
+		fu := nbr[off[u]:off[u+1]]
+		for i, v := range fu {
+			a := fu[i+1:]
+			b := nbr[off[v]:off[v+1]]
+			if len(a) == 0 || len(b) == 0 {
+				continue
+			}
+			// Same probe kernel as probeCount, inlined because each
+			// match must attribute the triangle to corner t (= the
+			// matched rank, whichever list drove the probe).
+			if len(a) > len(b) {
+				a, b = b, a
+			}
+			found := int64(0)
+			b0, bl := b[0], b[len(b)-1]
+			for _, x := range a {
+				if x > bl {
+					break
+				}
+				if x < b0 {
+					continue
+				}
+				base, n := 0, len(b)
+				for n > 1 {
+					half := n >> 1
+					lt := int(uint32(b[base+half-1]-x) >> 31)
+					base += half & -lt
+					n -= half
+				}
+				if b[base] == x {
+					atomic.AddInt64(&cnt[x], 1) // corner t
+					found++
+				}
+			}
+			if found > 0 {
+				atomic.AddInt64(&cnt[v], found) // corner s
+				atomic.AddInt64(&cnt[u], found) // root r
+			}
+		}
+	}
 }
 
 // normWorkers resolves a worker request against the amount of work:
@@ -315,8 +415,10 @@ func bfsDistances(g *graph.Graph, sources []int32, workers int, budget *par.Budg
 	)
 	claim := par.Queue(len(sources))
 	budget.Do(workers-1, func() {
-		dist := make([]int32, n)
-		queue := make([]int32, 0, n)
+		s := getScratch()
+		defer s.Release()
+		dist := s.dist(n)
+		queue := s.queue(n)[:0]
 		var lmax int32
 		var lsum, lpairs int64
 		var lhist []int64
@@ -417,56 +519,92 @@ func LocalClustering(g *graph.Graph) []float64 {
 }
 
 // LocalClusteringParallel is LocalClustering sharded over node ranges.
-// Each C_i is a pure per-node function written to its own slot, so the
-// vector is bit-identical at every worker count.
+// The per-node triangle counts come from the degree-ordered intersection
+// kernel (exact integers, order-free atomic accumulation), and each C_i
+// is then the same d_i-normalisation the mark-probe implementation
+// applied to the same integer, so the vector is bit-identical at every
+// worker count and to the legacy implementation.
 func LocalClusteringParallel(g *graph.Graph, workers int, budget *par.Budget) []float64 {
 	n := g.N()
 	cc := make([]float64, n)
 	if n == 0 {
 		return cc
 	}
-	workers = normWorkers(workers, n)
-	if workers == 1 {
-		localClusteringRange(g, 0, n, make([]bool, n), cc)
-		return cc
-	}
-	// the graph's own CSR offsets are exactly the degree prefix sums
-	chunks := chunkByMass(g.Offsets(), 8*workers)
-	claim := par.Queue(len(chunks) - 1)
-	budget.Do(workers-1, func() {
-		mark := make([]bool, n)
-		for i, ok := claim(); ok; i, ok = claim() {
-			localClusteringRange(g, chunks[i], chunks[i+1], mark, cc)
-		}
-	})
+	s := getScratch()
+	defer s.Release()
+	cnt, rank := perNodeTriangles(g, s, workers, budget)
+	fillClustering(g, cnt, rank, cc)
 	return cc
 }
 
-// localClusteringRange fills cc[lo:hi]. mark is caller-owned scratch of
-// length n, false on entry and on return.
-func localClusteringRange(g *graph.Graph, lo, hi int, mark []bool, cc []float64) {
-	for u := lo; u < hi; u++ {
-		nb := g.Neighbors(int32(u))
-		d := len(nb)
+// perNodeTriangles computes the per-node triangle counts in rank space
+// (indexed by rank; rank maps node → rank). cnt and rank live in s.
+func perNodeTriangles(g *graph.Graph, s *Scratch, workers int, budget *par.Budget) (cnt []int64, rank []int32) {
+	n := g.N()
+	fwdOff, fwdNbr, rank := forwardCSR(g, s)
+	cnt = s.counts(n) // reuses the scatter-cursor arena, dead after the build
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	workers = normWorkers(workers, n)
+	if workers == 1 {
+		perNodeFwdTriangles(fwdOff, fwdNbr, 0, n, cnt)
+		return cnt, rank
+	}
+	chunks := chunkByMass(fwdOff, 8*workers)
+	claim := par.Queue(len(chunks) - 1)
+	budget.Do(workers-1, func() {
+		for i, ok := claim(); ok; i, ok = claim() {
+			perNodeFwdTriangles(fwdOff, fwdNbr, chunks[i], chunks[i+1], cnt)
+		}
+	})
+	return cnt, rank
+}
+
+// fillClustering maps rank-space triangle counts to the per-node
+// clustering coefficients: C_u = 2·t_u / (d_u·(d_u−1)).
+func fillClustering(g *graph.Graph, cnt []int64, rank []int32, cc []float64) {
+	for u := range cc {
+		d := g.Degree(int32(u))
 		if d < 2 {
 			continue
 		}
-		for _, v := range nb {
-			mark[v] = true
-		}
-		links := 0
-		for _, v := range nb {
-			for _, w := range g.Neighbors(v) {
-				if w > v && mark[w] {
-					links++
-				}
-			}
-		}
-		for _, v := range nb {
-			mark[v] = false
-		}
+		links := cnt[rank[u]]
 		cc[u] = 2 * float64(links) / (float64(d) * float64(d-1))
 	}
+}
+
+// TriangleProfileParallel answers the whole triangle query group — Q3
+// (triangle count), Q10's numerator, and Q11 (average clustering) — from
+// ONE pass of the intersection kernel: per-node counts give the global
+// total (Σ t_u = 3T, exactly, in integers) and the clustering
+// coefficients. The profile's triangle pass uses this instead of running
+// TrianglesParallel and LocalClusteringParallel back-to-back. Values are
+// bit-identical to the separate calls: the total is the same integer and
+// ACC reduces the same per-node floats in the same serial node order.
+func TriangleProfileParallel(g *graph.Graph, workers int, budget *par.Budget) (triangles, wedges, acc float64) {
+	n := g.N()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	s := getScratch()
+	defer s.Release()
+	cnt, rank := perNodeTriangles(g, s, workers, budget)
+	var tri3 int64
+	for _, c := range cnt {
+		tri3 += c
+	}
+	sum := 0.0
+	for u := 0; u < n; u++ {
+		d := g.Degree(int32(u))
+		dd := float64(d)
+		wedges += dd * (dd - 1) / 2
+		if d < 2 {
+			continue
+		}
+		sum += 2 * float64(cnt[rank[u]]) / (dd * (dd - 1))
+	}
+	return float64(tri3 / 3), wedges, sum / float64(n)
 }
 
 // AvgClustering is query Q11: the mean of the local clustering
@@ -566,7 +704,10 @@ func EigenvectorCentrality(g *graph.Graph, iterations int, tol float64) []float6
 	for i := range x {
 		x[i] = 1 / math.Sqrt(float64(n))
 	}
-	y := make([]float64, n)
+	s := getScratch()
+	defer s.Release()
+	out := x
+	y := s.floats(n)
 	for it := 0; it < iterations; it++ {
 		// iterate on A + I: the shift breaks the ±λ oscillation on
 		// bipartite graphs without changing the principal eigenvector
@@ -583,7 +724,10 @@ func EigenvectorCentrality(g *graph.Graph, iterations int, tol float64) []float6
 		}
 		norm = math.Sqrt(norm)
 		if norm == 0 {
-			return x
+			if &x[0] != &out[0] {
+				copy(out, x)
+			}
+			return out
 		}
 		diff := 0.0
 		for i := range y {
@@ -595,5 +739,10 @@ func EigenvectorCentrality(g *graph.Graph, iterations int, tol float64) []float6
 			break
 		}
 	}
-	return x
+	// x may point at the pooled y-buffer after an odd number of swaps;
+	// results must never alias scratch memory (DESIGN.md §11).
+	if &x[0] != &out[0] {
+		copy(out, x)
+	}
+	return out
 }
