@@ -160,3 +160,55 @@ func TestRunRoundTripAndGate(t *testing.T) {
 		t.Fatal("expected regression failure against the fast baseline")
 	}
 }
+
+// Shared gate-logic contract with cmd/fidelitygate: the boundary between
+// "within tolerance" and "regression" is exact, missing entries are
+// record-don't-gate, and malformed baselines are hard errors.
+func TestCompareThresholdBoundary(t *testing.T) {
+	base := &Manifest{Schema: schema, Benchmarks: map[string]Result{
+		"BenchmarkEdge": {NsPerOp: 1000, Samples: 3},
+	}}
+	cases := []struct {
+		ns   float64
+		want int
+	}{
+		{1250, 0}, // exactly at the 25% threshold: allowed
+		{1249, 0}, // just inside
+		{1251, 1}, // just outside
+	}
+	for _, c := range cases {
+		cur := &Manifest{Schema: schema, Benchmarks: map[string]Result{
+			"BenchmarkEdge": {NsPerOp: c.ns, Samples: 3},
+		}}
+		var sb strings.Builder
+		if n := compare(&sb, base, cur, 0.25, false); n != c.want {
+			t.Errorf("ns=%g: regressions = %d, want %d\n%s", c.ns, n, c.want, sb.String())
+		}
+	}
+}
+
+func TestRunRejectsMalformedBaseline(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, body := range map[string]string{
+		"truncated.json": `{"schema": "pgb-bench/1", "benchmarks": {`,
+		"schema.json":    `{"schema": "pgb-fidelity/1", "benchmarks": {}}`,
+		"notjson.json":   `hello`,
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := run([]string{"-in", in, "-baseline", p}, nil, &sb); err == nil {
+			t.Errorf("%s: malformed baseline accepted", name)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-in", in, "-baseline", filepath.Join(dir, "absent.json")}, nil, &sb); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+}

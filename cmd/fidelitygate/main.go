@@ -1,0 +1,189 @@
+// Command fidelitygate gates CI on utility regressions: it compares a
+// current fidelity manifest (FIDELITY_PR.json, written by `pgb
+// fidelity`) against the committed golden baseline
+// (FIDELITY_BASELINE.json) and fails when any per-(cell, query) error
+// mean drifts outside its baseline tolerance interval — the answer-
+// quality analogue of cmd/benchgate's ns/op gate (README "Fidelity
+// gating in CI", DESIGN.md §12).
+//
+// Typical CI invocation:
+//
+//	go run ./cmd/pgb fidelity -out FIDELITY_PR.json
+//	go run ./cmd/fidelitygate -current FIDELITY_PR.json \
+//	    -baseline FIDELITY_BASELINE.json
+//
+// Manifests are comparable only when their pinned grid definitions
+// match; a mismatch is an error, not a silent all-entries-missing pass.
+// Entries present on only one side are record-don't-gate, mirroring
+// benchgate: they are summarised but never fail the gate, so growing
+// the query registry does not require touching the baseline in the same
+// change. Non-finite values always fail — a NaN would otherwise make
+// every interval comparison vacuously false and disarm the gate.
+//
+// After an intentional algorithm change, re-pin with
+//
+//	go run ./cmd/fidelitygate -current FIDELITY_PR.json \
+//	    -baseline FIDELITY_BASELINE.json -repin
+//
+// which prints a drift summary against the old baseline and then
+// overwrites it with the current manifest, so the next gate run passes
+// by construction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pgb/internal/core"
+	"pgb/internal/metrics"
+)
+
+// cellsByKey indexes a manifest's cells by (algorithm, dataset, epsilon).
+func cellsByKey(m *core.FidelityManifest) map[string]*core.FidelityCell {
+	idx := make(map[string]*core.FidelityCell, len(m.Cells))
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		idx[fmt.Sprintf("%s|%s|%g", c.Algorithm, c.Dataset, c.Epsilon)] = c
+	}
+	return idx
+}
+
+// queryIndex maps query symbol → position in the manifest's arrays.
+func queryIndex(m *core.FidelityManifest) map[string]int {
+	idx := make(map[string]int, len(m.Queries))
+	for i, q := range m.Queries {
+		idx[q] = i
+	}
+	return idx
+}
+
+// compare checks every baseline (cell, query) entry against the current
+// manifest: the current mean must lie inside the baseline tolerance
+// interval. It prints one line per drifted entry (2160 passing entries
+// would drown the report) plus explicit record-don't-gate summaries for
+// entries present on only one side, and returns the drift count.
+// Manifests from different pinned grids are an error.
+func compare(w io.Writer, base, cur *core.FidelityManifest) (drifts int, err error) {
+	if bg, cg := base.Meta["grid"], cur.Meta["grid"]; bg != cg {
+		return 0, fmt.Errorf("fidelitygate: grid definitions differ\n  baseline: %s\n  current:  %s\nmanifests from different pinned grids are not comparable; re-pin the baseline", bg, cg)
+	}
+	curCells := cellsByKey(cur)
+	curQ := queryIndex(cur)
+
+	var checked, missingCells, missingQueries int
+	for i := range base.Cells {
+		bc := &base.Cells[i]
+		cc, ok := curCells[fmt.Sprintf("%s|%s|%g", bc.Algorithm, bc.Dataset, bc.Epsilon)]
+		if !ok {
+			missingCells++
+			continue
+		}
+		for qi, sym := range base.Queries {
+			cqi, ok := curQ[sym]
+			if !ok {
+				missingQueries++
+				continue
+			}
+			checked++
+			v := cc.Mean[cqi]
+			iv := metrics.Interval{Lo: bc.Lo[qi], Hi: bc.Hi[qi]}
+			if iv.Contains(v) {
+				continue
+			}
+			drifts++
+			reason := "outside tolerance"
+			if !metrics.AllFinite([]float64{v, iv.Lo, iv.Hi}) {
+				reason = "non-finite value (poisoned profile or baseline)"
+			}
+			fmt.Fprintf(w, "DRIFT %-10s %-10s eps=%-4g %-8s  baseline %.6g in [%.6g, %.6g], current %.6g  (%s)\n",
+				bc.Algorithm, bc.Dataset, bc.Epsilon, sym, bc.Mean[qi], iv.Lo, iv.Hi, v, reason)
+		}
+	}
+
+	// Record-don't-gate: visibility without a gate, mirroring benchgate.
+	var addedCells, addedQueries int
+	baseCells := cellsByKey(base)
+	baseQ := queryIndex(base)
+	for i := range cur.Cells {
+		cc := &cur.Cells[i]
+		if _, ok := baseCells[fmt.Sprintf("%s|%s|%g", cc.Algorithm, cc.Dataset, cc.Epsilon)]; !ok {
+			addedCells++
+		}
+	}
+	for _, sym := range cur.Queries {
+		if _, ok := baseQ[sym]; !ok {
+			addedQueries++
+		}
+	}
+	if missingCells > 0 || missingQueries > 0 {
+		fmt.Fprintf(w, "%d baseline cell(s) and %d per-cell quer(y/ies) missing from the current run (not gated)\n", missingCells, missingQueries)
+	}
+	if addedCells > 0 || addedQueries > 0 {
+		fmt.Fprintf(w, "%d cell(s) and %d quer(y/ies) recorded without a baseline entry (record-don't-gate): re-pin to seed them\n", addedCells, addedQueries)
+	}
+	if checked == 0 {
+		return drifts, fmt.Errorf("fidelitygate: no overlapping (cell, query) entries between baseline and current manifest")
+	}
+	fmt.Fprintf(w, "checked %d (cell, query) entries across %d cells: %d drifted\n", checked, len(base.Cells), drifts)
+	return drifts, nil
+}
+
+// repin overwrites the baseline with the current manifest, first
+// printing the drift summary against the old baseline (when one exists)
+// so the intentional change is reviewable in the re-pin commit.
+func repin(w io.Writer, baselinePath string, cur *core.FidelityManifest) error {
+	if old, err := core.ReadFidelityManifest(baselinePath); err == nil {
+		fmt.Fprintf(w, "re-pin drift summary vs old %s:\n", baselinePath)
+		if n, cerr := compare(w, old, cur); cerr != nil {
+			fmt.Fprintf(w, "  (old baseline not comparable: %v)\n", cerr)
+		} else if n == 0 {
+			fmt.Fprintf(w, "  no entries drifted; re-pin refreshes intervals only\n")
+		}
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintf(w, "old baseline unreadable (%v); seeding fresh\n", err)
+	}
+	if err := core.WriteFidelityManifest(baselinePath, cur); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %d cells x %d queries to %s\n", len(cur.Cells), len(cur.Queries), baselinePath)
+	return nil
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fidelitygate", flag.ContinueOnError)
+	current := fs.String("current", "FIDELITY_PR.json", "fidelity manifest of the current run (written by `pgb fidelity`)")
+	baseline := fs.String("baseline", "FIDELITY_BASELINE.json", "committed golden baseline manifest")
+	doRepin := fs.Bool("repin", false, "overwrite the baseline with the current manifest (printing a drift summary) instead of gating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cur, err := core.ReadFidelityManifest(*current)
+	if err != nil {
+		return err
+	}
+	if *doRepin {
+		return repin(stdout, *baseline, cur)
+	}
+	base, err := core.ReadFidelityManifest(*baseline)
+	if err != nil {
+		return err
+	}
+	n, err := compare(stdout, base, cur)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		return fmt.Errorf("fidelitygate: %d (cell, query) entr(y/ies) drifted outside the committed tolerance intervals in %s; if intentional, re-pin with -repin", n, *baseline)
+	}
+	fmt.Fprintf(stdout, "no fidelity drift vs %s\n", *baseline)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

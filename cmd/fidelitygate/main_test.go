@@ -1,0 +1,219 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pgb/internal/core"
+)
+
+// testManifest builds a two-cell, two-query manifest with intervals of
+// ±0.1 around each mean.
+func testManifest() *core.FidelityManifest {
+	cell := func(alg string, means ...float64) core.FidelityCell {
+		c := core.FidelityCell{
+			Algorithm: alg, Dataset: "Facebook", Epsilon: 1,
+			Mean:   append([]float64(nil), means...),
+			StdDev: make([]float64, len(means)),
+		}
+		for _, m := range means {
+			c.Lo = append(c.Lo, m-0.1)
+			c.Hi = append(c.Hi, m+0.1)
+		}
+		return c
+	}
+	return &core.FidelityManifest{
+		Schema:  core.FidelitySchema,
+		Meta:    map[string]string{"grid": "test-grid"},
+		Queries: []string{"|E|", "Tri"},
+		Cells:   []core.FidelityCell{cell("TmF", 0.5, 1.0), cell("DGG", 0.7, 2.0)},
+	}
+}
+
+func TestCompareDriftJustInsideAndOutside(t *testing.T) {
+	base := testManifest()
+
+	// Just inside the interval: no drift.
+	cur := testManifest()
+	cur.Cells[0].Mean[1] = 1.0999
+	var sb strings.Builder
+	if n, err := compare(&sb, base, cur); err != nil || n != 0 {
+		t.Fatalf("just-inside drifted (n=%d, err=%v):\n%s", n, err, sb.String())
+	}
+
+	// Just outside: exactly one drift, named in the report.
+	cur = testManifest()
+	cur.Cells[0].Mean[1] = 1.1001
+	sb.Reset()
+	n, err := compare(&sb, base, cur)
+	if err != nil || n != 1 {
+		t.Fatalf("just-outside: n=%d, err=%v\n%s", n, err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "DRIFT") || !strings.Contains(out, "Tri") || !strings.Contains(out, "TmF") {
+		t.Fatalf("drift line missing details:\n%s", out)
+	}
+	if strings.Count(out, "DRIFT") != 1 {
+		t.Fatalf("only one entry should drift:\n%s", out)
+	}
+}
+
+func TestCompareNaNFailsLoudly(t *testing.T) {
+	base := testManifest()
+	cur := testManifest()
+	cur.Cells[1].Mean[0] = math.NaN()
+	var sb strings.Builder
+	n, err := compare(&sb, base, cur)
+	if err != nil || n != 1 {
+		t.Fatalf("NaN current value: n=%d, err=%v\n%s", n, err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "non-finite") {
+		t.Fatalf("NaN drift not called out:\n%s", sb.String())
+	}
+	// A poisoned baseline interval must also fail, not vacuously pass.
+	base.Cells[0].Hi[0] = math.NaN()
+	sb.Reset()
+	if n, err := compare(&sb, base, testManifest()); err != nil || n != 1 {
+		t.Fatalf("NaN baseline bound: n=%d, err=%v\n%s", n, err, sb.String())
+	}
+}
+
+func TestCompareMissingEntriesRecordDontGate(t *testing.T) {
+	base := testManifest()
+	cur := testManifest()
+	// Current run dropped one cell and renamed one query, and added a new
+	// cell: all visible, none gated.
+	cur.Cells = cur.Cells[:1]
+	cur.Cells = append(cur.Cells, core.FidelityCell{
+		Algorithm: "NewAlg", Dataset: "Facebook", Epsilon: 1,
+		Mean: []float64{1, 1}, Lo: []float64{0, 0}, Hi: []float64{2, 2}, StdDev: []float64{0, 0},
+	})
+	cur.Queries = []string{"|E|", "GCC"}
+	var sb strings.Builder
+	n, err := compare(&sb, base, cur)
+	if err != nil || n != 0 {
+		t.Fatalf("missing entries gated: n=%d, err=%v\n%s", n, err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"missing from the current run (not gated)", "record-don't-gate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareRejectsGridMismatchAndZeroOverlap(t *testing.T) {
+	base := testManifest()
+	cur := testManifest()
+	cur.Meta["grid"] = "some-other-grid"
+	var sb strings.Builder
+	if _, err := compare(&sb, base, cur); err == nil {
+		t.Fatal("differing grid definitions must be an error")
+	}
+	// Same grid key but zero overlapping entries: also an error — a gate
+	// that checked nothing must not report success.
+	cur = testManifest()
+	cur.Queries = []string{"GCC", "ACC"}
+	if _, err := compare(&sb, base, cur); err == nil {
+		t.Fatal("zero overlap must be an error")
+	}
+}
+
+// The acceptance scenario: a deliberately injected error drift makes the
+// gate exit non-zero, and -repin makes the same comparison pass again.
+func TestInjectedDriftFailsThenRepinRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "FIDELITY_BASELINE.json")
+	curPath := filepath.Join(dir, "FIDELITY_PR.json")
+
+	if err := core.WriteFidelityManifest(basePath, testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	drifted := testManifest()
+	// Scaled noise in one query: the drifted run's own interval brackets
+	// its new mean (as pgb fidelity always writes it), but the mean falls
+	// outside the baseline's interval.
+	drifted.Cells[1].Mean[1] *= 1.5
+	drifted.Cells[1].Lo[1] = drifted.Cells[1].Mean[1] - 0.1
+	drifted.Cells[1].Hi[1] = drifted.Cells[1].Mean[1] + 0.1
+	if err := core.WriteFidelityManifest(curPath, drifted); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	err := run([]string{"-current", curPath, "-baseline", basePath}, &sb)
+	if err == nil {
+		t.Fatalf("injected drift passed the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "drifted") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+
+	// Re-pin: prints the drift summary, overwrites the baseline...
+	sb.Reset()
+	if err := run([]string{"-current", curPath, "-baseline", basePath, "-repin"}, &sb); err != nil {
+		t.Fatalf("repin failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "DRIFT") || !strings.Contains(sb.String(), "wrote") {
+		t.Fatalf("repin summary incomplete:\n%s", sb.String())
+	}
+	// ...and the same current manifest now gates clean.
+	sb.Reset()
+	if err := run([]string{"-current", curPath, "-baseline", basePath}, &sb); err != nil {
+		t.Fatalf("gate after repin failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "no fidelity drift") {
+		t.Fatalf("missing pass message:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsMalformedManifests(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := core.WriteFidelityManifest(good, testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	for name, body := range map[string]string{
+		"bad.json":    `{"schema": "pgb-fidelity/1", "cells": [`,
+		"schema.json": `{"schema": "pgb-bench/1", "queries": ["x"], "cells": []}`,
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := run([]string{"-current", p, "-baseline", good}, &sb); err == nil {
+			t.Errorf("%s accepted as current manifest", name)
+		}
+		sb.Reset()
+		if err := run([]string{"-current", good, "-baseline", p}, &sb); err == nil {
+			t.Errorf("%s accepted as baseline manifest", name)
+		}
+	}
+	// Missing files are errors too.
+	var sb strings.Builder
+	if err := run([]string{"-current", filepath.Join(dir, "nope.json"), "-baseline", good}, &sb); err == nil {
+		t.Error("missing current manifest accepted")
+	}
+}
+
+// Re-pinning against a missing or unreadable old baseline still writes
+// the new one (the seeding path).
+func TestRepinSeedsFreshBaseline(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "FIDELITY_BASELINE.json")
+	curPath := filepath.Join(dir, "FIDELITY_PR.json")
+	if err := core.WriteFidelityManifest(curPath, testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-current", curPath, "-baseline", basePath, "-repin"}, &sb); err != nil {
+		t.Fatalf("seeding repin failed: %v", err)
+	}
+	if _, err := core.ReadFidelityManifest(basePath); err != nil {
+		t.Fatalf("seeded baseline unreadable: %v", err)
+	}
+}

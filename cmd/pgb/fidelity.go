@@ -1,0 +1,46 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgb/internal/core"
+)
+
+// cmdFidelity runs the pinned fidelity grid (DESIGN.md §12) — the same
+// definition the internal/core fidelity tests consume — across its
+// pinned master seeds and writes the per-(cell, query) error
+// distribution with tolerance intervals to a fidelity manifest.
+// cmd/fidelitygate gates that manifest against FIDELITY_BASELINE.json.
+func cmdFidelity(args []string) error {
+	fs := flag.NewFlagSet("fidelity", flag.ExitOnError)
+	out := fs.String("out", "FIDELITY_PR.json", "write the fidelity manifest JSON to this path")
+	seeds := fs.Int("seeds", 0, "override the pinned seed count (0 = the grid's default; the gate refuses manifests whose grids differ)")
+	jobs := fs.Int("jobs", 0, "max concurrent grid cells (0 = GOMAXPROCS); the manifest is identical at any -jobs")
+	note := fs.String("note", "", "provenance note recorded in the manifest meta (use when re-pinning the committed baseline)")
+	verbose := fs.Bool("v", false, "print per-cell progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	def := core.FidelityGrid()
+	if *seeds > 0 {
+		def.Seeds = *seeds
+	}
+	var progress func(string)
+	if *verbose {
+		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	m, err := core.RunFidelity(def, *jobs, progress)
+	if err != nil {
+		return err
+	}
+	if *note != "" {
+		m.Meta["note"] = *note
+	}
+	if err := core.WriteFidelityManifest(*out, m); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d cells x %d queries (%d seeds) to %s\n", len(m.Cells), len(m.Queries), def.Seeds, *out)
+	return nil
+}

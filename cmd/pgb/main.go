@@ -12,6 +12,7 @@
 //	pgb verify   -alg {dpdk,tmf,privskg}   appendix verification
 //	pgb generate -alg A -dataset D -eps E  one synthetic graph to stdout
 //	pgb serve    -addr :8080 -data DIR     benchmark-as-a-service HTTP API
+//	pgb fidelity -out FIDELITY_PR.json     pinned-grid fidelity manifest
 //	pgb version                            build identification
 //
 // Common flags: -scale (dataset size factor, default 0.1), -reps
@@ -64,6 +65,8 @@ func main() {
 		err = cmdLDP(args)
 	case "serve":
 		err = cmdServe(args)
+	case "fidelity":
+		err = cmdFidelity(args)
 	case "version":
 		cmdVersion()
 	case "help", "-h", "--help":
@@ -108,6 +111,10 @@ commands:
   serve       benchmark-as-a-service HTTP API (-addr :8080 -data DIR
               -jobs N); async grid runs with SSE progress, cancellation,
               result caching, and crash recovery from run manifests
+  fidelity    run the pinned fidelity grid across its pinned seeds and
+              write the per-(cell, query) error distribution with
+              tolerance intervals (-out FIDELITY_PR.json); gate it with
+              cmd/fidelitygate against FIDELITY_BASELINE.json
   version     print the build identification (also GET /version)
 
 grid commands accept -jobs N (parallel cells), -checkpoint FILE (durable

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"pgb/internal/graph"
+)
+
+// score_test.go locks the registry wiring the fidelity gate depends on:
+// every query's symbol/metric/higherBetter flags, and the scorer's
+// behaviour on identical and on clearly different profiles, evaluated
+// against hand-built 5-node graphs small enough to reason about exactly.
+
+// scoreTruthGraph is a triangle {0,1,2} with a tail 2–3–4: it has
+// triangles, non-trivial clustering, two communities, and diameter 3.
+func scoreTruthGraph() *graph.Graph {
+	return graph.FromEdges(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
+	})
+}
+
+// scoreSynGraph is a 5-node star: same node count, but different edge
+// count, degrees, triangles (none), distances, communities, and EVC.
+func scoreSynGraph() *graph.Graph {
+	return graph.FromEdges(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4},
+	})
+}
+
+// TestScoreRegistryWiring pins the identity metadata of the fifteen
+// paper queries: symbol, error metric, and the higher-is-better flag
+// (true only for the NMI community-detection score).
+func TestScoreRegistryWiring(t *testing.T) {
+	want := []struct {
+		id           QueryID
+		symbol       string
+		metric       string
+		higherBetter bool
+	}{
+		{QNumNodes, "|V|", "RE", false},
+		{QNumEdges, "|E|", "RE", false},
+		{QTriangles, "Tri", "RE", false},
+		{QAvgDegree, "d_avg", "RE", false},
+		{QDegreeVariance, "d_var", "RE", false},
+		{QDegreeDistribution, "DegDist", "KL", false},
+		{QDiameter, "Diam", "RE", false},
+		{QAvgPath, "AvgPath", "RE", false},
+		{QDistanceDistribution, "DistDist", "KL", false},
+		{QGlobalClustering, "GCC", "RE", false},
+		{QAvgClustering, "ACC", "RE", false},
+		{QCommunityDetection, "CD", "NMI", true},
+		{QModularity, "Mod", "RE", false},
+		{QAssortativity, "Ass", "RE", false},
+		{QEigenvectorCentrality, "EVC", "MAE", false},
+	}
+	if len(want) != NumQueries {
+		t.Fatalf("table covers %d queries, want %d", len(want), NumQueries)
+	}
+	for _, w := range want {
+		spec, ok := QuerySpecOf(w.id)
+		if !ok {
+			t.Fatalf("query %d not registered", int(w.id))
+		}
+		if spec.Symbol != w.symbol || spec.Metric != w.metric || spec.HigherBetter != w.higherBetter {
+			t.Errorf("query %d: (%q, %q, %v), want (%q, %q, %v)",
+				int(w.id), spec.Symbol, spec.Metric, spec.HigherBetter, w.symbol, w.metric, w.higherBetter)
+		}
+	}
+}
+
+// TestScoreIdenticalProfilesArePerfect: every registered query must
+// report a perfect score when the synthetic profile IS the truth —
+// 0 for errors and divergences, 1 for NMI-style similarities.
+func TestScoreIdenticalProfilesArePerfect(t *testing.T) {
+	p := ComputeProfileSeeded(scoreTruthGraph(), ProfileOptions{}, 11)
+	for _, q := range AllQueries() {
+		v, higherBetter := Score(q, p, p)
+		if higherBetter != q.HigherBetter() {
+			t.Errorf("%s: Score higherBetter %v disagrees with registry %v", q, higherBetter, q.HigherBetter())
+		}
+		perfect := 0.0
+		if higherBetter {
+			perfect = 1.0
+		}
+		if v != perfect {
+			t.Errorf("%s: self-score %g, want %g", q, v, perfect)
+		}
+	}
+}
+
+// TestScoreSeparatesDifferentGraphs: against the star graph, every
+// query except |V| (both graphs have five nodes) must report an
+// imperfect score, in the direction its higherBetter flag declares.
+func TestScoreSeparatesDifferentGraphs(t *testing.T) {
+	truth := ComputeProfileSeeded(scoreTruthGraph(), ProfileOptions{}, 11)
+	syn := ComputeProfileSeeded(scoreSynGraph(), ProfileOptions{}, 13)
+	for _, q := range AllQueries() {
+		v, higherBetter := Score(q, truth, syn)
+		if q == QNumNodes {
+			if v != 0 {
+				t.Errorf("|V|: both graphs have 5 nodes, want error 0, got %g", v)
+			}
+			continue
+		}
+		if higherBetter {
+			if v >= 1 {
+				t.Errorf("%s: similarity %g for structurally different graphs, want < 1", q, v)
+			}
+		} else if v <= 0 {
+			t.Errorf("%s: error %g for structurally different graphs, want > 0", q, v)
+		}
+	}
+}
+
+// TestScoreEveryRegisteredQuery: Score and the QueryID metadata
+// accessors must work for every ID in the registry, including custom
+// queries other tests registered, and the profile computed with a nil
+// query selection must answer all of them.
+func TestScoreEveryRegisteredQuery(t *testing.T) {
+	g := scoreTruthGraph()
+	p := ComputeProfileSeeded(g, ProfileOptions{}, 17)
+	for _, q := range RegisteredQueries() {
+		spec, ok := QuerySpecOf(q)
+		if !ok {
+			t.Fatalf("RegisteredQueries returned unknown id %d", int(q))
+		}
+		v, higherBetter := Score(q, p, p)
+		if higherBetter != spec.HigherBetter {
+			t.Errorf("%s: higherBetter mismatch", q)
+		}
+		if v != v { // NaN
+			t.Errorf("%s: self-score is NaN", q)
+		}
+		if q.String() != spec.Symbol || q.Metric() != spec.Metric {
+			t.Errorf("%s: accessor metadata disagrees with spec", q)
+		}
+	}
+}
+
+func TestScorePanicsOnUnknownQuery(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Score on an unregistered id must panic")
+		}
+	}()
+	p := &Profile{}
+	Score(QueryID(1<<30), p, p)
+}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -64,6 +65,45 @@ func FuzzReadEdgeList(f *testing.F) {
 		}
 		if back.N() != g.N() || back.M() != g.M() {
 			t.Fatalf("round trip changed graph: %v vs %v", back, g)
+		}
+	})
+}
+
+// FuzzGraphJSON: the wire codec (json.go) must never panic on arbitrary
+// payloads, strict-validation rejections must be errors (not clipped
+// graphs), and every accepted payload must survive the
+// decode→encode→decode round trip with an identical graph: same
+// invariants, same fingerprint. The canonical re-encoding makes the
+// second decode the identity even when the original payload listed
+// edges unsorted, reversed, duplicated, or with self-loops.
+func FuzzGraphJSON(f *testing.F) {
+	f.Add([]byte(`{"n":3,"edges":[0,1,1,2]}`))
+	f.Add([]byte(`{"n":5,"edges":[4,0, 0,4, 2,2, 3,1]}`)) // reversed, dup, loop
+	f.Add([]byte(`{"n":0,"edges":[]}`))
+	f.Add([]byte(`{"n":-1,"edges":[]}`))
+	f.Add([]byte(`{"n":2,"edges":[0]}`))         // odd edge array
+	f.Add([]byte(`{"n":2,"edges":[0,5]}`))       // endpoint out of range
+	f.Add([]byte(`{"n":9000000000,"edges":[]}`)) // above MaxJSONNodes
+	f.Add([]byte(`{"edges":null}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // rejected without panicking — all the contract asks
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails invariants: %v", err)
+		}
+		enc, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("re-encoding accepted graph: %v", err)
+		}
+		var g2 Graph
+		if err := json.Unmarshal(enc, &g2); err != nil {
+			t.Fatalf("canonical encoding rejected on decode: %v\n%s", err, enc)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() || g2.Fingerprint() != g.Fingerprint() {
+			t.Fatalf("round trip changed the graph: n %d->%d m %d->%d", g.N(), g2.N(), g.M(), g2.M())
 		}
 	})
 }

@@ -69,7 +69,10 @@ func checkLen(a, b []float64) {
 }
 
 // alignAndNormalize pads the shorter distribution with zeros and
-// renormalises both to sum to 1 (treating negative mass as zero).
+// renormalises both to sum to 1 (treating negative mass as zero). The
+// x > 0 guard would also silently zero out NaN mass (NaN > 0 is false),
+// so callers must reject non-finite input first — a poisoned histogram
+// must surface as NaN, not masquerade as an empty distribution.
 func alignAndNormalize(p, q []float64) ([]float64, []float64) {
 	n := len(p)
 	if len(q) > n {
@@ -103,8 +106,13 @@ func alignAndNormalize(p, q []float64) ([]float64, []float64) {
 
 // KLDivergence is E3: D(P‖Q) with additive smoothing (α = 1e-9) so the
 // divergence stays finite when the synthetic distribution has empty bins —
-// the standard treatment for noisy degree distributions.
+// the standard treatment for noisy degree distributions. Non-finite input
+// yields NaN (never a silently-zeroed bin), so a poisoned profile fails
+// downstream gates loudly.
 func KLDivergence(p, q []float64) float64 {
+	if !AllFinite(p) || !AllFinite(q) {
+		return math.NaN()
+	}
 	pp, qq := alignAndNormalize(p, q)
 	const alpha = 1e-9
 	n := float64(len(pp))
@@ -120,8 +128,12 @@ func KLDivergence(p, q []float64) float64 {
 	return d
 }
 
-// HellingerDistance is E4: (1/√2)·‖√P − √Q‖₂ ∈ [0, 1].
+// HellingerDistance is E4: (1/√2)·‖√P − √Q‖₂ ∈ [0, 1], or NaN on
+// non-finite input.
 func HellingerDistance(p, q []float64) float64 {
+	if !AllFinite(p) || !AllFinite(q) {
+		return math.NaN()
+	}
 	pp, qq := alignAndNormalize(p, q)
 	s := 0.0
 	for i := range pp {
@@ -132,8 +144,11 @@ func HellingerDistance(p, q []float64) float64 {
 }
 
 // KolmogorovSmirnov is E5: the maximum absolute difference between the
-// two CDFs, ∈ [0, 1].
+// two CDFs, ∈ [0, 1], or NaN on non-finite input.
 func KolmogorovSmirnov(p, q []float64) float64 {
+	if !AllFinite(p) || !AllFinite(q) {
+		return math.NaN()
+	}
 	pp, qq := alignAndNormalize(p, q)
 	var cp, cq, ks float64
 	for i := range pp {

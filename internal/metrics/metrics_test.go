@@ -228,3 +228,98 @@ func TestQuickPartitionMetricBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Edge-case tables for the scalar/vector error metrics: zero truths,
+// empty vectors, and poisoned (NaN/Inf) inputs. The invariant the
+// fidelity gate depends on: a non-finite input always surfaces as a
+// non-finite result (which gates treat as failure), never as a silently
+// finite "looks fine" value.
+func TestRelativeErrorEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		truth, est float64
+		want       float64 // NaN means "must be NaN"
+	}{
+		{"zero truth clamps denominator", 0, 0.25, 0.25},
+		{"zero truth zero est", 0, 0, 0},
+		{"negative truth", -2, -1, 0.5},
+		{"NaN est propagates", 1, math.NaN(), math.NaN()},
+		{"NaN truth propagates", math.NaN(), 1, math.NaN()},
+		{"Inf est propagates", 1, math.Inf(1), math.Inf(1)},
+		{"Inf truth is not perfect", math.Inf(1), math.Inf(1), math.NaN()},
+	}
+	for _, c := range cases {
+		got := RelativeError(c.truth, c.est)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: RelativeError(%g, %g) = %g, want NaN", c.name, c.truth, c.est, got)
+			}
+		} else if got != c.want {
+			t.Errorf("%s: RelativeError(%g, %g) = %g, want %g", c.name, c.truth, c.est, got, c.want)
+		}
+	}
+}
+
+func TestPairedMetricsEdgeCases(t *testing.T) {
+	type pairFn struct {
+		name string
+		f    func(a, b []float64) float64
+	}
+	fns := []pairFn{
+		{"MeanRelativeError", MeanRelativeError},
+		{"MeanAbsoluteError", MeanAbsoluteError},
+		{"MeanSquareError", MeanSquareError},
+	}
+	for _, fn := range fns {
+		if got := fn.f(nil, nil); got != 0 {
+			t.Errorf("%s(empty) = %g, want 0", fn.name, got)
+		}
+		if got := fn.f([]float64{1, 2}, []float64{1, 2}); got != 0 {
+			t.Errorf("%s(identical) = %g, want 0", fn.name, got)
+		}
+		if got := fn.f([]float64{1, math.NaN()}, []float64{1, 1}); !math.IsNaN(got) {
+			t.Errorf("%s(NaN input) = %g, want NaN", fn.name, got)
+		}
+		if got := fn.f([]float64{1, 1}, []float64{1, math.Inf(1)}); !math.IsNaN(got) && !math.IsInf(got, 1) {
+			t.Errorf("%s(Inf input) = %g, want non-finite", fn.name, got)
+		}
+	}
+	// Truth vectors containing zeros stay finite (clamped denominator).
+	if got := MeanRelativeError([]float64{0, 2}, []float64{1, 1}); got != 0.75 {
+		t.Errorf("MeanRelativeError zero-truth = %g, want 0.75", got)
+	}
+}
+
+// Distribution metrics must return NaN on poisoned input rather than
+// treating NaN mass as an empty bin (NaN > 0 is false, so the
+// normaliser would silently zero it out).
+func TestDistributionMetricsRejectPoisonedInput(t *testing.T) {
+	fns := map[string]func(p, q []float64) float64{
+		"KLDivergence":      KLDivergence,
+		"HellingerDistance": HellingerDistance,
+		"KolmogorovSmirnov": KolmogorovSmirnov,
+	}
+	clean := []float64{0.5, 0.5}
+	for name, f := range fns {
+		for _, poisoned := range [][]float64{
+			{math.NaN(), 0.5},
+			{0.5, math.Inf(1)},
+			{math.Inf(-1)},
+		} {
+			if got := f(poisoned, clean); !math.IsNaN(got) {
+				t.Errorf("%s(poisoned, clean) = %g, want NaN", name, got)
+			}
+			if got := f(clean, poisoned); !math.IsNaN(got) {
+				t.Errorf("%s(clean, poisoned) = %g, want NaN", name, got)
+			}
+		}
+		// Empty and all-zero distributions stay finite: both normalise
+		// to nothing, which the smoothing treats as identical.
+		if got := f(nil, nil); math.IsNaN(got) || got != 0 {
+			t.Errorf("%s(empty, empty) = %g, want 0", name, got)
+		}
+		if got := f([]float64{0, 0}, nil); math.IsNaN(got) {
+			t.Errorf("%s(zeros, empty) = %g, want finite", name, got)
+		}
+	}
+}
