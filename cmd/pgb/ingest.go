@@ -1,0 +1,62 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"pgb/internal/datasets"
+)
+
+// cmdIngest materialises benchmark datasets into a snapshot store:
+// each (dataset, scale, seed) reference is generated once and written
+// as an on-disk binary CSR snapshot (DESIGN.md §13) that later runs —
+// `pgb table7 -snapshot DIR`, `pgb serve`, or any pgb.Load with the
+// store — open in O(file) instead of regenerating. Ingestion is
+// idempotent: references already in the store are skipped (use -force
+// to rewrite them), and identical graphs under different references
+// share one content-addressed snapshot file.
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	dir := addSnapshotFlag(fs, "pgb-serve-data/snapshots")
+	dsStr := fs.String("datasets", "", "comma-separated dataset subset (default: all eight)")
+	scale := fs.Float64("scale", 0.1, "dataset size factor in (0,1]; 1 = paper sizes")
+	seed := fs.Int64("seed", 42, "master random seed")
+	force := fs.Bool("force", false, "re-ingest references already present in the store")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("ingest needs a -snapshot directory")
+	}
+	specs := datasets.All()
+	if *dsStr != "" {
+		specs = nil
+		for _, name := range splitList(*dsStr) {
+			spec, err := datasets.ByName(name)
+			if err != nil {
+				return err
+			}
+			specs = append(specs, spec)
+		}
+	}
+	st, err := openSnapshotStore(*dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	for _, spec := range specs {
+		ref := datasets.RefFor(spec.Name, *scale, *seed)
+		if !*force && st.Has(ref) {
+			fp, _ := st.FingerprintOf(ref)
+			fmt.Printf("%-10s already ingested (fingerprint %016x)\n", spec.Name, fp)
+			continue
+		}
+		g := spec.Load(*scale, *seed)
+		if err := st.Put(ref, g); err != nil {
+			return fmt.Errorf("ingesting %s: %w", spec.Name, err)
+		}
+		fmt.Printf("%-10s n=%-8d m=%-8d fingerprint=%016x -> %s\n",
+			spec.Name, g.N(), g.M(), g.Fingerprint(), st.SnapshotPath(g.Fingerprint()))
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a buffer and
+// returns what it printed — the cmd* functions print straight to stdout.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	errc := make(chan error, 1)
+	go func() { errc <- fn() }()
+	runErr := <-errc
+	os.Stdout = old
+	w.Close()
+	out, _ := io.ReadAll(r)
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("command failed: %v\noutput: %s", runErr, out)
+	}
+	return string(out)
+}
+
+// TestCmdIngestThenSnapshotGrid is the in-process form of the CI smoke:
+// ingest a dataset, then check a grid run resolved from the snapshot
+// store prints byte-for-byte what the in-RAM run prints.
+func TestCmdIngestThenSnapshotGrid(t *testing.T) {
+	snapDir := filepath.Join(t.TempDir(), "snapshots")
+	ingestArgs := []string{"-snapshot", snapDir, "-datasets", "BA", "-scale", "0.02", "-seed", "42"}
+	first := captureStdout(t, func() error { return cmdIngest(ingestArgs) })
+	if !strings.Contains(first, "BA") || !strings.Contains(first, "fingerprint=") {
+		t.Fatalf("ingest output: %q", first)
+	}
+	second := captureStdout(t, func() error { return cmdIngest(ingestArgs) })
+	if !strings.Contains(second, "already ingested") {
+		t.Fatalf("re-ingest not idempotent: %q", second)
+	}
+
+	gridArgs := []string{"-scale", "0.02", "-reps", "1", "-algs", "DGG", "-datasets", "BA", "-eps", "1"}
+	ram := captureStdout(t, func() error { return cmdGrid("table7", gridArgs) })
+	snap := captureStdout(t, func() error {
+		return cmdGrid("table7", append([]string{"-snapshot", snapDir}, gridArgs...))
+	})
+	if ram != snap {
+		t.Fatalf("snapshot-resolved grid diverges from in-RAM grid:\n--- RAM\n%s--- snapshot\n%s", ram, snap)
+	}
+}
+
+func TestCmdIngestUnknownDataset(t *testing.T) {
+	if err := cmdIngest([]string{"-snapshot", t.TempDir(), "-datasets", "nope"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+// TestFlagAliases pins the deprecated spellings from the flags.go table.
+func TestFlagAliases(t *testing.T) {
+	gf := newGridFlags("test")
+	if err := gf.fs.Parse([]string{"-parallel", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if *gf.jobs != 3 {
+		t.Fatalf("-parallel did not alias -jobs: %d", *gf.jobs)
+	}
+
+	fs := flag.NewFlagSet("serve-test", flag.ContinueOnError)
+	dir := addDataDirFlag(fs, "default-dir")
+	if err := fs.Parse([]string{"-data", "elsewhere"}); err != nil {
+		t.Fatal(err)
+	}
+	if *dir != "elsewhere" {
+		t.Fatalf("-data did not alias -data-dir: %q", *dir)
+	}
+}

@@ -11,7 +11,8 @@
 //	pgb fig7     [flags]             Fig. 7    (DER comparison)
 //	pgb verify   -alg {dpdk,tmf,privskg}   appendix verification
 //	pgb generate -alg A -dataset D -eps E  one synthetic graph to stdout
-//	pgb serve    -addr :8080 -data DIR     benchmark-as-a-service HTTP API
+//	pgb ingest   -snapshot DIR             persist datasets as CSR snapshots
+//	pgb serve    -addr :8080 -data-dir DIR benchmark-as-a-service HTTP API
 //	pgb fidelity -out FIDELITY_PR.json     pinned-grid fidelity manifest
 //	pgb version                            build identification
 //
@@ -19,7 +20,10 @@
 // (repetitions per cell, default 3), -seed, -eps (comma list), -algs,
 // -datasets, -queries (comma lists), -jobs (concurrent grid cells),
 // -checkpoint FILE (durable JSONL run manifest), -resume FILE (continue
-// an interrupted checkpointed run), -v (progress to stderr).
+// an interrupted checkpointed run), -snapshot DIR (resolve datasets
+// through an ingested snapshot store), -v (progress to stderr). Shared
+// flags are defined once in flags.go; see its table for the deprecated
+// aliases (-parallel for -jobs, -data for -data-dir).
 package main
 
 import (
@@ -57,6 +61,8 @@ func main() {
 		err = cmdVerify(args)
 	case "generate":
 		err = cmdGenerate(args)
+	case "ingest":
+		err = cmdIngest(args)
 	case "report":
 		err = cmdReport(args)
 	case "ablation":
@@ -108,18 +114,25 @@ commands:
   types       best counts aggregated by graph domain (Table II taxonomy)
   recommend   mechanism selection guidelines for a scenario
               (-nodes N -acc A -eps E [-queries CD,Mod] [-measured])
-  serve       benchmark-as-a-service HTTP API (-addr :8080 -data DIR
+  ingest      generate datasets once and persist them as binary CSR
+              snapshots in a store directory (-snapshot DIR -datasets
+              A,B -scale S -seed N); later runs open them in O(file)
+  serve       benchmark-as-a-service HTTP API (-addr :8080 -data-dir DIR
               -jobs N); async grid runs with SSE progress, cancellation,
-              result caching, and crash recovery from run manifests
+              result caching, crash recovery from run manifests, and
+              dataset resolution from the snapshot store (-snapshot DIR,
+              default DATA_DIR/snapshots)
   fidelity    run the pinned fidelity grid across its pinned seeds and
               write the per-(cell, query) error distribution with
               tolerance intervals (-out FIDELITY_PR.json); gate it with
               cmd/fidelitygate against FIDELITY_BASELINE.json
   version     print the build identification (also GET /version)
 
-grid commands accept -jobs N (parallel cells), -checkpoint FILE (durable
-JSONL run manifest; rerun with the same path to resume) and -resume FILE
-(continue an interrupted run, restoring its configuration).`)
+grid commands accept -jobs N (parallel cells; -parallel is a deprecated
+alias), -checkpoint FILE (durable JSONL run manifest; rerun with the
+same path to resume), -resume FILE (continue an interrupted run,
+restoring its configuration) and -snapshot DIR (resolve datasets through
+a store written by pgb ingest; results are identical either way).`)
 }
 
 type gridFlags struct {
@@ -136,6 +149,8 @@ type gridFlags struct {
 	jobs       *int
 	checkpoint *string
 	resume     *string
+	snapshot   *string
+	store      *graph.SnapshotStore // opened by config() when -snapshot is set
 }
 
 func newGridFlags(name string) *gridFlags {
@@ -151,12 +166,36 @@ func newGridFlags(name string) *gridFlags {
 		queriesStr: fs.String("queries", "", "comma-separated query symbols to evaluate, e.g. CD,Mod,DegDist (default: all fifteen)"),
 		distance:   fs.String("distance", "", "distance-query estimator: auto (exact small/sampled large, the default), exact, sampled, or anf (HyperANF, bounded error)"),
 		verbose:    fs.Bool("v", false, "print per-cell progress to stderr"),
-		jobs:       fs.Int("jobs", 0, "max concurrent grid cells (0 = GOMAXPROCS); results are identical at any -jobs"),
+		jobs:       addJobsFlag(fs, 0, "max concurrent grid cells (0 = GOMAXPROCS); results are identical at any -jobs"),
 		checkpoint: fs.String("checkpoint", "", "stream finished cells to this JSONL run manifest; rerunning with the same path resumes an interrupted run"),
 		resume:     fs.String("resume", "", "resume from this run manifest, restoring its whole grid configuration (other grid flags are ignored)"),
+		snapshot:   addSnapshotFlag(fs, ""),
 	}
-	fs.IntVar(g.jobs, "parallel", 0, "deprecated alias for -jobs")
 	return g
+}
+
+// openStore opens the -snapshot store (if any) and wires it into cfg.
+// The store is execution-only: it changes where datasets come from,
+// never what they contain, so configuration digests and results are
+// identical with and without it.
+func (g *gridFlags) openStore(cfg *core.Config) error {
+	st, err := openSnapshotStore(*g.snapshot)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		g.store = st
+		cfg.Store = st
+	}
+	return nil
+}
+
+// close releases the -snapshot store; call after the run's results are
+// fully rendered (store-backed graphs view mapped memory).
+func (g *gridFlags) close() {
+	if g.store != nil {
+		g.store.Close()
+	}
 }
 
 // config builds the run configuration from the flags. With -resume the
@@ -174,7 +213,7 @@ func (g *gridFlags) config() (core.Config, error) {
 		if *g.verbose {
 			cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 		}
-		return cfg, nil
+		return cfg, g.openStore(&cfg)
 	}
 	cfg := core.Config{
 		Scale:          *g.scale,
@@ -215,7 +254,7 @@ func (g *gridFlags) config() (core.Config, error) {
 	if *g.verbose {
 		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
-	return cfg, nil
+	return cfg, g.openStore(&cfg)
 }
 
 func splitList(s string) []string {
@@ -254,6 +293,7 @@ func cmdGrid(which string, args []string) error {
 	if err != nil {
 		return err
 	}
+	defer gf.close()
 	if which == "memory" {
 		// Allocation measurement needs isolation: GenBytes deltas taken
 		// while other cells run in the same process are inflated. A

@@ -18,25 +18,41 @@ import (
 // cmdServe runs the benchmark-as-a-service HTTP API (DESIGN.md §9, README
 // "Serving PGB"): synchronous generate/compare endpoints plus async grid-run
 // jobs with SSE progress, cancellation, a content-addressed result cache,
-// and crash recovery from the checkpoint manifests in -data.
+// and crash recovery from the checkpoint manifests in -data-dir. Dataset
+// references resolve through the snapshot store at -snapshot (default:
+// the snapshots/ directory inside -data-dir), so graphs ingested with
+// `pgb ingest` are served from their snapshots instead of regenerated.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	dataDir := fs.String("data", "pgb-serve-data", "directory for run manifests; manifests found at startup are adopted and resumed")
-	workers := fs.Int("jobs", 1, "concurrent grid-run jobs (the async worker pool)")
+	dataDir := addDataDirFlag(fs, "pgb-serve-data")
+	workers := addJobsFlag(fs, 1, "concurrent grid-run jobs (the async worker pool)")
 	runWorkers := fs.Int("run-jobs", 1, "parallelism budget inside each run (grid cells + kernels)")
 	cacheN := fs.Int("cache", 128, "content-addressed result cache entries")
+	snapDir := addSnapshotFlag(fs, "")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger := log.New(os.Stderr, "pgb serve: ", log.LstdFlags)
-	srv, err := server.New(server.Options{
+	// An explicit -snapshot overrides the server's default store
+	// location (DataDir/snapshots); the store we open here outlives the
+	// server, so it is closed after srv.Close.
+	store, err := openSnapshotStore(*snapDir)
+	if err != nil {
+		return err
+	}
+	opts := server.Options{
 		DataDir:       *dataDir,
 		Workers:       *workers,
 		WorkersPerRun: *runWorkers,
 		CacheEntries:  *cacheN,
 		Logf:          logger.Printf,
-	})
+	}
+	if store != nil {
+		opts.Store = store
+		defer store.Close()
+	}
+	srv, err := server.New(opts)
 	if err != nil {
 		return err
 	}

@@ -67,6 +67,18 @@ type Config struct {
 	// cancelled checkpointed run resumes under the same manifest. nil
 	// means the run cannot be cancelled.
 	Context context.Context
+	// Store, when non-nil, resolves dataset graphs before generation: a
+	// reference ingested into the store (pgb ingest) loads from its CSR
+	// snapshot instead of being re-materialized. Like Workers it is
+	// execution-only and excluded from the checkpoint digest — a stored
+	// graph is bit-identical to the generated one (same fingerprint), so
+	// where the bytes come from can never change a cell value.
+	Store graph.Store
+	// IngestMisses, with Store set, writes every dataset that missed the
+	// store back to it after generation, so the next run over the same
+	// store loads it in O(file). A failed write-back is a run error: the
+	// caller asked for persistence and silent drop would surprise later.
+	IngestMisses bool
 
 	// budget is the run-wide worker allowance Workers resolves to,
 	// created by Run and shared by the cell scheduler and every profile
@@ -200,6 +212,14 @@ func Run(cfg Config) (*Results, error) {
 			return nil, fmt.Errorf("core: unknown query id %d in config", int(q))
 		}
 	}
+	// Every grid axis is validated before any work starts: a typo'd
+	// algorithm name fails the run immediately instead of surfacing as
+	// one silent error cell per (dataset, epsilon).
+	for _, name := range cfg.Algorithms {
+		if _, err := NewAlgorithm(name); err != nil {
+			return nil, err
+		}
+	}
 	cells := gridCells(cfg)
 
 	var (
@@ -241,7 +261,15 @@ func Run(cfg Config) (*Results, error) {
 		if err != nil {
 			return nil, err
 		}
-		g := spec.Load(cfg.Scale, cfg.Seed)
+		g, fromStore, err := datasets.LoadVia(cfg.Store, spec, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if !fromStore && cfg.IngestMisses && cfg.Store != nil {
+			if err := cfg.Store.Put(datasets.RefFor(spec.Name, cfg.Scale, cfg.Seed), g); err != nil {
+				return nil, fmt.Errorf("core: ingesting %s into store: %w", spec.Name, err)
+			}
+		}
 		var prof *Profile
 		if needProfile[name] {
 			prof = ComputeProfileCached(g, popt, cfg.Seed+1)
@@ -250,7 +278,11 @@ func Run(cfg Config) (*Results, error) {
 		summaries[name] = datasets.Summarize(spec, g)
 		if cfg.Progress != nil {
 			s := summaries[name]
-			cfg.Progress(fmt.Sprintf("dataset %-10s n=%d m=%d acc=%.4f", s.Name, s.Nodes, s.Edges, s.ACC))
+			src := "generated"
+			if fromStore {
+				src = "snapshot"
+			}
+			cfg.Progress(fmt.Sprintf("dataset %-10s n=%d m=%d acc=%.4f (%s)", s.Name, s.Nodes, s.Edges, s.ACC, src))
 		}
 	}
 

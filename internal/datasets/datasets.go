@@ -12,6 +12,7 @@
 package datasets
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -33,13 +34,49 @@ type Spec struct {
 	build      func(n, m int, rng *rand.Rand) *graph.Graph
 }
 
+// NormalizeScale clamps a dataset scale factor to (0, 1] exactly as
+// Load does: out-of-range values mean "full size". Store references are
+// built from the normalized value so that cosmetically different
+// invalid scales never mint distinct snapshot-store keys.
+func NormalizeScale(scale float64) float64 {
+	if scale <= 0 || scale > 1 {
+		return 1
+	}
+	return scale
+}
+
+// RefFor is the store reference addressing the graph Load(scale, seed)
+// generates for the named dataset — the shared key vocabulary between
+// `pgb ingest` (which writes under it) and every store-resolving loader.
+func RefFor(name string, scale float64, seed int64) graph.Ref {
+	return graph.Ref{Dataset: name, Scale: NormalizeScale(scale), Seed: seed}
+}
+
+// LoadVia resolves the dataset through st first — an ingested snapshot
+// loads in O(file) instead of regenerating — and falls back to Load on
+// a miss (or a nil store). fromStore reports which path produced the
+// graph, so callers implementing write-back (core.Config.IngestMisses)
+// know whether a Put is due. Store failures other than ErrNotFound are
+// returned: a present-but-unreadable snapshot must fail loudly, not
+// silently regenerate something the operator believes is pinned on disk.
+func LoadVia(st graph.Store, s Spec, scale float64, seed int64) (g *graph.Graph, fromStore bool, err error) {
+	if st != nil {
+		g, err := st.Open(RefFor(s.Name, scale, seed))
+		switch {
+		case err == nil:
+			return g, true, nil
+		case !errors.Is(err, graph.ErrNotFound):
+			return nil, false, fmt.Errorf("datasets: opening %s from store: %w", s.Name, err)
+		}
+	}
+	return s.Load(scale, seed), false, nil
+}
+
 // Load generates the dataset at the given scale in (0, 1]: node and edge
 // targets are multiplied by scale, enabling fast CI runs; scale = 1
 // reproduces the paper sizes.
 func (s Spec) Load(scale float64, seed int64) *graph.Graph {
-	if scale <= 0 || scale > 1 {
-		scale = 1
-	}
+	scale = NormalizeScale(scale)
 	n := int(math.Round(float64(s.PaperNodes) * scale))
 	m := int(math.Round(float64(s.PaperEdges) * scale))
 	if n < 16 {

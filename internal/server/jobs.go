@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"pgb/internal/core"
+	"pgb/internal/graph"
 )
 
 // jobs.go is the async job manager behind POST /v1/runs (DESIGN.md
@@ -152,7 +153,8 @@ func (j *job) unsubscribe(ch chan string) {
 type jobManager struct {
 	dataDir    string
 	cache      *resultCache
-	runWorkers int // Config.Workers for each executed run
+	store      graph.Store // dataset resolution for executed runs (snapshot-first)
+	runWorkers int         // Config.Workers for each executed run
 	logf       func(string, ...any)
 
 	mu   sync.Mutex
@@ -179,10 +181,11 @@ type jobManager struct {
 	baseCancel context.CancelFunc
 }
 
-func newJobManager(dataDir string, poolSize, runWorkers int, cache *resultCache, logf func(string, ...any)) *jobManager {
+func newJobManager(dataDir string, poolSize, runWorkers int, store graph.Store, cache *resultCache, logf func(string, ...any)) *jobManager {
 	m := &jobManager{
 		dataDir:    dataDir,
 		cache:      cache,
+		store:      store,
 		runWorkers: runWorkers,
 		logf:       logf,
 		jobs:       make(map[string]*job),
@@ -328,10 +331,16 @@ func (m *jobManager) execute(j *job) {
 	j.mu.Unlock()
 	defer cancel()
 
+	// Execution-only fields: none of these participate in the job's
+	// configuration digest. Store in particular must not — a run resolved
+	// from snapshots and the same run generated in RAM are the same run
+	// (the snapshot holds the identical graph), so they share one
+	// digest, one manifest, and one cache entry.
 	cfg.Workers = m.runWorkers
 	cfg.Context = ctx
 	cfg.CheckpointPath = j.manifest
 	cfg.Progress = j.progress
+	cfg.Store = m.store
 
 	m.started.Add(1)
 	m.logf("job %s: running (%d cells, manifest %s)", j.id, gridSize(cfg), cfg.CheckpointPath)

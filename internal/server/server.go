@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -58,6 +59,14 @@ type Options struct {
 	WorkersPerRun int
 	// CacheEntries bounds the content-addressed result cache. Default 128.
 	CacheEntries int
+	// Store resolves dataset references (graphRef and grid-run datasets)
+	// before generation is attempted: refs previously ingested with
+	// `pgb ingest` load from their CSR snapshots instead of being
+	// regenerated. Nil opens a SnapshotStore under DataDir/snapshots —
+	// pointing -data-dir at an ingest target makes the snapshots
+	// available with no extra wiring. The server owns (and closes) the
+	// store only when it opened it here.
+	Store graph.Store
 	// Logf receives operational log lines; nil discards them.
 	Logf func(string, ...any)
 }
@@ -93,6 +102,9 @@ type Server struct {
 	// pool.
 	sem      chan struct{}
 	compares atomic.Int64 // compare computations actually executed (cache misses)
+	store    graph.Store
+	ownStore *graph.SnapshotStore // non-nil when New opened the store itself
+	dsCache  *datasetCache
 }
 
 // New builds a Server: the data directory is created if missing and
@@ -104,12 +116,22 @@ func New(opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: creating data dir: %w", err)
 	}
 	s := &Server{
-		opts:  opts,
-		mux:   http.NewServeMux(),
-		cache: newResultCache(opts.CacheEntries),
-		sem:   make(chan struct{}, opts.Workers),
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		cache:   newResultCache(opts.CacheEntries),
+		sem:     make(chan struct{}, opts.Workers),
+		store:   opts.Store,
+		dsCache: newDatasetCache(),
 	}
-	s.jobs = newJobManager(opts.DataDir, opts.Workers, opts.WorkersPerRun, s.cache, opts.Logf)
+	if s.store == nil {
+		st, err := graph.OpenSnapshotStore(filepath.Join(opts.DataDir, "snapshots"))
+		if err != nil {
+			return nil, fmt.Errorf("server: opening snapshot store: %w", err)
+		}
+		s.store = st
+		s.ownStore = st
+	}
+	s.jobs = newJobManager(opts.DataDir, opts.Workers, opts.WorkersPerRun, s.store, s.cache, opts.Logf)
 	s.routes()
 	s.jobs.recover()
 	return s, nil
@@ -119,8 +141,17 @@ func New(opts Options) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close cancels running jobs (their finished cells are already durable
-// in their manifests) and stops the worker pool.
-func (s *Server) Close() { s.jobs.close() }
+// in their manifests) and stops the worker pool. A snapshot store the
+// server opened itself is closed too — graphs it served must not be
+// used afterwards (they may view unmapped memory).
+func (s *Server) Close() {
+	s.jobs.close()
+	if s.ownStore != nil {
+		if err := s.ownStore.Close(); err != nil {
+			s.opts.Logf("closing snapshot store: %v", err)
+		}
+	}
+}
 
 // RunsExecuted reports how many grid runs were handed to core.Run — the
 // counter tests use to assert cache hits never recompute.
@@ -212,7 +243,11 @@ type graphRef struct {
 	Seed    int64   `json:"seed,omitempty"`  // default 42
 }
 
-func (ref *graphRef) resolve() (*graph.Graph, error) {
+// resolveRef materialises a graph reference: inline graphs pass
+// through, dataset references resolve through the server's store first
+// (ingested snapshots) and deterministic generation on a store miss,
+// memoised in the fingerprint-keyed dataset cache either way.
+func (s *Server) resolveRef(ref *graphRef) (*graph.Graph, error) {
 	switch {
 	case ref == nil:
 		return nil, errors.New("missing graph reference")
@@ -236,54 +271,71 @@ func (ref *graphRef) resolve() (*graph.Graph, error) {
 		if seed == 0 {
 			seed = 42
 		}
-		return loadDatasetCached(spec, scale, seed), nil
+		return s.dsCache.load(s.store, spec, scale, seed)
 	default:
 		return nil, errors.New(`a graph reference needs "graph" or "dataset"`)
 	}
 }
 
-// datasetGraphCache memoises dataset loads: spec.Load is deterministic
-// in (name, scale, seed), and regenerating a dataset per request was the
-// dominant allocation source of the compare path (>90% of its allocs).
-// Entries are whole graphs, so the cache is kept small LRU.
-var datasetGraphCache = struct {
+// datasetCache memoises dataset resolutions: loading is deterministic
+// in (name, scale, seed), and regenerating a dataset per request was
+// the dominant allocation source of the compare path (>90% of its
+// allocs). Entries are keyed by graph fingerprint — the content
+// address — with a reference→fingerprint memo in front, so a graph
+// reaches memory once no matter how it arrives: a ref resolved from a
+// snapshot and the same ref regenerated in RAM share one entry, as do
+// distinct refs that happen to denote an identical graph. Entries are
+// whole graphs, so the cache is kept small. The cache is per-Server
+// (not global): snapshot-resolved graphs may view mmap'd memory whose
+// lifetime is the server's own store, so cache and store retire
+// together at Close.
+type datasetCache struct {
 	sync.Mutex
-	entries map[datasetKey]*graph.Graph
-	order   []datasetKey
-}{entries: make(map[datasetKey]*graph.Graph)}
+	fps     map[graph.Ref]uint64
+	entries map[uint64]*graph.Graph
+	order   []uint64
+}
 
-type datasetKey struct {
-	name  string
-	scale float64
-	seed  int64
+func newDatasetCache() *datasetCache {
+	return &datasetCache{
+		fps:     make(map[graph.Ref]uint64),
+		entries: make(map[uint64]*graph.Graph),
+	}
 }
 
 const datasetGraphCacheLimit = 16
 
-func loadDatasetCached(spec datasets.Spec, scale float64, seed int64) *graph.Graph {
-	key := datasetKey{name: spec.Name, scale: scale, seed: seed}
-	datasetGraphCache.Lock()
-	if g, ok := datasetGraphCache.entries[key]; ok {
-		datasetGraphCache.Unlock()
-		return g
+func (c *datasetCache) load(st graph.Store, spec datasets.Spec, scale float64, seed int64) (*graph.Graph, error) {
+	ref := datasets.RefFor(spec.Name, scale, seed)
+	c.Lock()
+	if fp, ok := c.fps[ref]; ok {
+		if g, ok := c.entries[fp]; ok {
+			c.Unlock()
+			return g, nil
+		}
 	}
-	datasetGraphCache.Unlock()
+	c.Unlock()
 
-	g := spec.Load(scale, seed)
+	g, _, err := datasets.LoadVia(st, spec, scale, seed)
+	if err != nil {
+		return nil, err
+	}
 
-	datasetGraphCache.Lock()
-	defer datasetGraphCache.Unlock()
-	if existing, ok := datasetGraphCache.entries[key]; ok {
-		return existing
+	fp := g.Fingerprint()
+	c.Lock()
+	defer c.Unlock()
+	c.fps[ref] = fp
+	if existing, ok := c.entries[fp]; ok {
+		return existing, nil
 	}
-	if len(datasetGraphCache.order) >= datasetGraphCacheLimit {
-		oldest := datasetGraphCache.order[0]
-		datasetGraphCache.order = datasetGraphCache.order[1:]
-		delete(datasetGraphCache.entries, oldest)
+	if len(c.order) >= datasetGraphCacheLimit {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
 	}
-	datasetGraphCache.entries[key] = g
-	datasetGraphCache.order = append(datasetGraphCache.order, key)
-	return g
+	c.entries[fp] = g
+	c.order = append(c.order, fp)
+	return g, nil
 }
 
 // ---- meta / health / version ------------------------------------------
@@ -352,7 +404,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_argument", "privacy budget must be positive, got %g", req.Eps)
 		return
 	}
-	g, err := req.Source.resolve()
+	g, err := s.resolveRef(&req.Source)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_argument", "source: %v", err)
 		return
@@ -430,12 +482,12 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
 		return
 	}
-	truth, err := req.Truth.resolve()
+	truth, err := s.resolveRef(&req.Truth)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_argument", "truth: %v", err)
 		return
 	}
-	syn, err := req.Synthetic.resolve()
+	syn, err := s.resolveRef(&req.Synthetic)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_argument", "synthetic: %v", err)
 		return

@@ -12,10 +12,17 @@
 //
 // Quick start:
 //
-//	g := pgb.LoadDataset("Facebook", 0.25, 42)
+//	g, err := pgb.Load(pgb.Source{Dataset: "Facebook", Scale: 0.25, Seed: 42})
 //	syn, err := pgb.Generate("PrivGraph", g, 1.0, 7)
 //	report := pgb.Compare(g, syn, 7)
 //	fmt.Println(report)
+//
+// Graphs can be resolved through a Store instead of being regenerated
+// per process: `pgb ingest` persists a dataset as an on-disk binary CSR
+// snapshot, and a Source carrying the matching store loads it in O(file):
+//
+//	store, err := pgb.OpenSnapshotStore("pgb-data/snapshots")
+//	g, err := pgb.Load(pgb.Source{Dataset: "Facebook", Scale: 0.25, Seed: 42, Store: store})
 //
 // The full benchmark grid (Tables VII, IX, X, XII and Fig. 2) is driven
 // by RunBenchmark, or from the command line via cmd/pgb.
@@ -73,15 +80,82 @@ func Datasets() []string { return datasets.Names() }
 // Epsilons returns the paper's privacy-budget grid.
 func Epsilons() []float64 { return core.Epsilons() }
 
-// LoadDataset generates a benchmark dataset. scale in (0, 1] shrinks the
-// paper's node/edge targets proportionally (scale = 1 reproduces the
-// published sizes); generation is deterministic in seed.
-func LoadDataset(name string, scale float64, seed int64) (*Graph, error) {
-	spec, err := datasets.ByName(name)
+// Store resolves dataset references to graphs: the storage-agnostic
+// seam between graph sources and everything that consumes graphs. See
+// NewMemStore (graphs held in RAM) and OpenSnapshotStore (graphs served
+// from on-disk binary CSR snapshots written by `pgb ingest`).
+type Store = graph.Store
+
+// NewMemStore returns an in-memory Store: graphs Put into it live on
+// the heap for the life of the process — the historical behaviour of
+// every dataset load, now available behind the Store seam.
+func NewMemStore() *graph.MemStore { return graph.NewMemStore() }
+
+// OpenSnapshotStore opens (creating if needed) the snapshot store
+// rooted at dir: CSR snapshot files addressed by graph fingerprint plus
+// a reference index, as written by `pgb ingest`. Snapshots are opened
+// read-only via mmap where the platform supports it, with a portable
+// plain-read fallback. Close the store when done; graphs it returned
+// must not be used afterwards.
+func OpenSnapshotStore(dir string) (*graph.SnapshotStore, error) {
+	return graph.OpenSnapshotStore(dir)
+}
+
+// Ref is the key a Store is addressed by: a dataset name with the
+// normalized scale and seed that pin the exact graph. Obtain one with
+// Source.Ref.
+type Ref = graph.Ref
+
+// Source names a benchmark graph to load: the dataset plus the
+// (Scale, Seed) pair that makes generation deterministic, and an
+// optional Store to resolve through before generating.
+type Source struct {
+	// Dataset is one of Datasets() (or "GrQC", the verification graph).
+	Dataset string
+	// Scale in (0, 1] shrinks the paper's node/edge targets
+	// proportionally; 0 (and any out-of-range value) means full size.
+	Scale float64
+	// Seed makes generation deterministic; a Source is a pure name:
+	// equal Sources always denote bit-identical graphs.
+	Seed int64
+	// Store, when non-nil, is consulted first: a reference previously
+	// ingested (pgb ingest, Store.Put) loads from the store instead of
+	// being re-materialized. On a store miss the dataset is generated;
+	// the miss is NOT written back (use Store.Put or `pgb ingest` to
+	// persist deliberately).
+	Store Store
+}
+
+// Ref is the canonical store key of the source: the dataset name with
+// scale normalized exactly as Load normalizes it, so the key under
+// which `pgb ingest` (or Store.Put) recorded a graph is the key Load
+// looks up.
+func (s Source) Ref() Ref {
+	return datasets.RefFor(s.Dataset, s.Scale, s.Seed)
+}
+
+// Load resolves a Source to its graph: through src.Store when the
+// reference was ingested, by deterministic generation otherwise. It
+// never panics — unknown dataset names and store failures are errors.
+func Load(src Source) (*Graph, error) {
+	spec, err := datasets.ByName(src.Dataset)
 	if err != nil {
 		return nil, err
 	}
-	return spec.Load(scale, seed), nil
+	g, _, err := datasets.LoadVia(src.Store, spec, src.Scale, src.Seed)
+	return g, err
+}
+
+// LoadDataset generates a benchmark dataset. scale in (0, 1] shrinks the
+// paper's node/edge targets proportionally (scale = 1 reproduces the
+// published sizes); generation is deterministic in seed.
+//
+// Deprecated: LoadDataset is the positional form of Load and cannot
+// name a Store; new code should call
+// Load(Source{Dataset: name, Scale: scale, Seed: seed}). The wrapper is
+// kept so existing callers compile unchanged.
+func LoadDataset(name string, scale float64, seed int64) (*Graph, error) {
+	return Load(Source{Dataset: name, Scale: scale, Seed: seed})
 }
 
 // Generate runs the named differentially private generation algorithm on
@@ -111,6 +185,9 @@ func Generate(algorithm string, g *Graph, eps float64, seed int64) (*Graph, erro
 	alg, err := core.NewAlgorithm(algorithm)
 	if err != nil {
 		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("pgb: Generate needs a non-nil input graph")
 	}
 	if eps <= 0 {
 		return nil, fmt.Errorf("pgb: privacy budget must be positive, got %g", eps)
@@ -160,7 +237,15 @@ func Compare(truth, syn *Graph, seed int64) QueryReport {
 
 // CompareQueries is Compare restricted to a query subset; nil evaluates
 // the built-in fifteen. Custom queries from RegisterQuery are accepted.
+// A nil graph on either side is profiled as the empty graph rather than
+// panicking; the affected rows degrade to NaN/zero errors.
 func CompareQueries(truth, syn *Graph, seed int64, queries []QueryID) QueryReport {
+	if truth == nil {
+		truth = graph.New(0)
+	}
+	if syn == nil {
+		syn = graph.New(0)
+	}
 	if queries == nil {
 		queries = core.AllQueries()
 	}
