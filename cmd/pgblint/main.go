@@ -1,0 +1,86 @@
+// Command pgblint checks the repo's determinism and gate-safety
+// contracts at analysis time (DESIGN.md §14). It is a multichecker in
+// the style of golang.org/x/tools/go/analysis/multichecker, built only
+// on the standard library so the module stays dependency-free.
+//
+// Usage:
+//
+//	go run ./cmd/pgblint ./...
+//	go run ./cmd/pgblint -list
+//	go run ./cmd/pgblint -only maprange,errclose ./internal/graph/...
+//
+// pgblint exits 0 when the tree is clean, 1 when there are findings,
+// and 2 on usage or load errors. Deliberate violations are waived in
+// place with a //pgb:<name> <reason> directive on the flagged line or
+// the line above it; see the analyzer docs (-list) for each contract
+// and its escape hatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pgb/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("pgblint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "print the analyzers and their directives, then exit")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: pgblint [-list] [-only a,b] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s //pgb:%-14s %s\n", a.Name, a.Directive, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pgblint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "pgblint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

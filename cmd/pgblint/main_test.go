@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestListExitsZero(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Fatalf("run(-list) = %d, want 0", got)
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	if got := run([]string{"-only", "nosuch"}); got != 2 {
+		t.Fatalf("run(-only nosuch) = %d, want 2", got)
+	}
+}
+
+// TestTreeIsClean is the same gate CI runs: zero findings over the
+// whole module. It loads and type-checks every package, so it is
+// skipped under -short.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; run without -short")
+	}
+	if got := run([]string{"../..."}); got != 0 {
+		t.Fatalf("pgblint over the tree = %d, want 0 (findings above)", got)
+	}
+}

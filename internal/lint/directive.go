@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// directive.go implements the //pgb:<name> <reason> escape-hatch
+// machinery (DESIGN.md §14). A directive waives exactly one analyzer's
+// findings at exactly one position: it must sit on the flagged line or
+// on the line directly above it, and it must carry a human-readable
+// reason. Both halves of that contract are themselves checked — a
+// reasonless directive and a directive that suppresses nothing are
+// findings, so the escape hatches stay justified and stay attached to
+// the code they excuse.
+
+// A directive is one parsed //pgb: comment.
+type directive struct {
+	name   string // text between "//pgb:" and the first space
+	reason string // trimmed justification text; required
+	file   string
+	line   int
+	pos    token.Pos
+}
+
+var directiveRe = regexp.MustCompile(`^//pgb:([^ \t]*)(.*)$`)
+
+// collectDirectives scans every comment in the package for //pgb:
+// directives. A trailing "// want ..." marker (used by the fixture
+// harness) is not part of the reason.
+func collectDirectives(pkg *Package) []directive {
+	var dirs []directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				reason := m[2]
+				if i := strings.Index(reason, "// want"); i >= 0 {
+					reason = reason[:i]
+				}
+				p := pkg.Fset.Position(c.Slash)
+				dirs = append(dirs, directive{
+					name:   m[1],
+					reason: strings.TrimSpace(reason),
+					file:   p.Filename,
+					line:   p.Line,
+					pos:    c.Slash,
+				})
+			}
+		}
+	}
+	return dirs
+}
+
+// suppresses reports whether the directive waives a finding of the
+// given directive name at (file, line): same line (trailing comment)
+// or the line directly above (standalone comment).
+func (d *directive) suppresses(name, file string, line int) bool {
+	return d.name == name && d.reason != "" && d.file == file &&
+		(d.line == line || d.line == line-1)
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseTestPkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{ImportPath: "p", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestCollectDirectives(t *testing.T) {
+	pkg := parseTestPkg(t, `package p
+
+//pgb:deterministic effects are commutative
+func a() {}
+
+func b() { //pgb:errclose   padded reason
+}
+
+//pgb:rand reason text // want "stripped by the fixture harness"
+func c() {}
+
+//pgb:walltime
+func d() {}
+
+// pgb:deterministic not a directive: space after the slashes
+/*pgb:deterministic not a directive: block comment*/
+func e() {}
+`)
+	dirs := collectDirectives(pkg)
+	want := []struct {
+		name, reason string
+		line         int
+	}{
+		{"deterministic", "effects are commutative", 3},
+		{"errclose", "padded reason", 6},
+		{"rand", "reason text", 9},
+		{"walltime", "", 12},
+	}
+	if len(dirs) != len(want) {
+		t.Fatalf("got %d directives, want %d: %+v", len(dirs), len(want), dirs)
+	}
+	for i, w := range want {
+		d := dirs[i]
+		if d.name != w.name || d.reason != w.reason || d.line != w.line {
+			t.Errorf("directive %d = {%q %q line %d}, want {%q %q line %d}",
+				i, d.name, d.reason, d.line, w.name, w.reason, w.line)
+		}
+	}
+}
+
+func TestDirectiveSuppresses(t *testing.T) {
+	d := directive{name: "deterministic", reason: "why", file: "f.go", line: 10}
+	cases := []struct {
+		name string
+		file string
+		line int
+		want bool
+	}{
+		{"deterministic", "f.go", 10, true},  // trailing comment
+		{"deterministic", "f.go", 11, true},  // line above
+		{"deterministic", "f.go", 12, false}, // two lines away
+		{"deterministic", "f.go", 9, false},  // directive below the code
+		{"deterministic", "g.go", 10, false}, // other file
+		{"errclose", "f.go", 10, false},      // other analyzer
+	}
+	for _, c := range cases {
+		if got := d.suppresses(c.name, c.file, c.line); got != c.want {
+			t.Errorf("suppresses(%q, %q, %d) = %v, want %v", c.name, c.file, c.line, got, c.want)
+		}
+	}
+	// A reasonless directive suppresses nothing.
+	empty := directive{name: "deterministic", file: "f.go", line: 10}
+	if empty.suppresses("deterministic", "f.go", 10) {
+		t.Error("reasonless directive must not suppress")
+	}
+}
+
+func TestPrefixFilter(t *testing.T) {
+	f := prefixFilter("pgb/internal/algo", "pgb/internal/dp")
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"pgb/internal/algo", true},
+		{"pgb/internal/algo/tmf", true},
+		{"pgb/internal/dp", true},
+		{"pgb/internal/algorithmic", false}, // prefix must end at a path boundary
+		{"pgb/internal/stats", false},
+		{"pgb", false},
+	}
+	for _, c := range cases {
+		if got := f(c.path); got != c.want {
+			t.Errorf("filter(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrClose flags statements that drop the error from Close, Sync or
+// Flush. In the snapshot write and atomic-rename paths (DESIGN.md
+// §13) a swallowed Close error is a torn file that the checksummed
+// header only catches a session later; flushes that never report
+// ENOSPC corrupt checkpoints silently. Only the bare statement form
+// is flagged:
+//
+//	f.Close()        // flagged: error dropped on the floor
+//	_ = f.Close()    // allowed: explicitly discarded, visible in review
+//	err := f.Close() // allowed: handled
+//	defer f.Close()  // allowed: the accepted read-path idiom — write
+//	                 // paths must close-and-check before rename
+//
+// Escape hatch: //pgb:errclose <reason> (e.g. best-effort cleanup on
+// an already-failing path).
+var ErrClose = &Analyzer{
+	Name:      "errclose",
+	Doc:       "flags dropped errors from Close/Sync/Flush (DESIGN.md §13 snapshot atomicity)",
+	Directive: "errclose",
+	Run:       runErrClose,
+}
+
+var closeMethods = map[string]bool{"Close": true, "Sync": true, "Flush": true}
+
+func runErrClose(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !closeMethods[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !returnsOnlyError(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error from %s.%s is dropped; check it, assign to _, or justify with //pgb:errclose <reason> (DESIGN.md §13)",
+				types.ExprString(sel.X), sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func returnsOnlyError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	return res.Len() == 1 && types.Identical(res.At(0).Type(), errorType)
+}

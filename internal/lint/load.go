@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked analysis target. In-package
+// test files are merged into their package; an external test package
+// (package foo_test) is loaded as its own target with the synthetic
+// import path "<path>_test".
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Standard     bool
+	DepOnly      bool
+	ForTest      string
+	Export       string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Load enumerates the packages matching patterns (relative to dir, the
+// module root), parses them — including their test files — and
+// type-checks them against compiler export data produced by
+// `go list -export`. This needs no network and no dependencies beyond
+// the standard library: the go tool compiles (or reuses from the build
+// cache) export data for every dependency, and the gc importer reads
+// it back.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps", "-test",
+		"-json=ImportPath,Dir,Name,Standard,DepOnly,ForTest,Export,GoFiles,CgoFiles,TestGoFiles,XTestGoFiles",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var targets []*listPackage
+	exports := map[string]string{} // import path -> export data file
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		// Test variants ("pkg [pkg.test]") and synthesized test
+		// binaries ("pkg.test") are skipped: in-package test files
+		// are merged into the base package below, external test
+		// files become their own target.
+		if strings.Contains(p.ImportPath, " ") || strings.HasSuffix(p.ImportPath, ".test") || p.ForTest != "" {
+			continue
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("pgblint: package %s uses cgo, which the loader does not support", p.ImportPath)
+		}
+		q := p
+		targets = append(targets, &q)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("go list %s: no packages matched", strings.Join(patterns, " "))
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (does the tree build?)", path)
+		}
+		return os.Open(exp)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		files := append(append([]string{}, t.GoFiles...), t.TestGoFiles...)
+		pkg, err := checkOne(fset, &conf, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+		if len(t.XTestGoFiles) > 0 {
+			xpkg, err := checkOne(fset, &conf, t.ImportPath+"_test", t.Dir, t.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xpkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// checkOne parses and type-checks a single package from the named
+// files (relative to dir).
+func checkOne(fset *token.FileSet, conf *types.Config, importPath, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("pgblint: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("pgblint: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+	}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}

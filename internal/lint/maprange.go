@@ -1,0 +1,431 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapRange enforces the DESIGN.md §2 determinism contract on map
+// iteration: Go randomises map order per run, so a range over a map
+// whose effects reach values, fingerprints, manifests, or RNG draw
+// order makes output machine- and run-dependent. This is the PR 2 bug
+// class (BarabasiAlbert target maps, the Communities pool, the
+// BuildFrom2K float accumulation — all produced structurally different
+// graphs per call).
+//
+// A map range is allowed without justification only when its body is
+// provably order-independent:
+//
+//   - key/value collection into slices that are sorted before use
+//     (the canonical fix: collect, sort, then iterate the slice);
+//   - integer accumulation (++, --, +=, -=, |=, &=, ^= on integers —
+//     exact and commutative, unlike float addition);
+//   - writes (and op-assign updates) keyed by the loop's own key
+//     variable whose right-hand side depends only on loop-invariant
+//     state — each key is visited once, so the destinations are
+//     disjoint and order cannot matter (map copies, acc[k] += v,
+//     normalising the ranged map in place);
+//   - delete(m2, k);
+//   - if statements whose condition is loop-invariant-pure and whose
+//     branches contain only the forms above (conditional collection
+//     still requires the sort); an init clause may define fresh
+//     per-iteration variables from a loop-pure expression (the
+//     comma-ok lookup idiom: if _, ok := other[k]; !ok).
+//
+// Anything else needs the keys sorted first, or a
+// //pgb:deterministic <reason> directive on the loop.
+var MapRange = &Analyzer{
+	Name:      "maprange",
+	Doc:       "flags map iteration with order-dependent effects (DESIGN.md §2; the PR 2 nondeterminism bug class)",
+	Directive: "deterministic",
+	Run:       runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rs := unwrapRange(stmt)
+				if rs == nil {
+					continue
+				}
+				checkMapRange(pass, rs, block.List[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+func unwrapRange(stmt ast.Stmt) *ast.RangeStmt {
+	for {
+		switch s := stmt.(type) {
+		case *ast.RangeStmt:
+			return s
+		case *ast.LabeledStmt:
+			stmt = s.Stmt
+		default:
+			return nil
+		}
+	}
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, after []ast.Stmt) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	c := &mapRangeChecker{pass: pass, rs: rs}
+	c.keyObj = c.objectOf(rs.Key)
+	c.valObj = c.objectOf(rs.Value)
+	c.collectAssigned(rs.Body)
+
+	collected, ok := c.classifyBody(rs.Body)
+	operand := types.ExprString(rs.X)
+	if !ok {
+		pass.Reportf(rs.For,
+			"iteration order over map %s is random and the loop body is not provably order-independent; iterate sorted keys instead, or justify with //pgb:deterministic <reason>",
+			operand)
+		return
+	}
+	for _, name := range collected {
+		if !sortedAfter(after, name) {
+			pass.Reportf(rs.For,
+				"map keys of %s are collected into %s but never sorted in this block; sort %s before use, or justify with //pgb:deterministic <reason>",
+				operand, name, name)
+		}
+	}
+}
+
+type mapRangeChecker struct {
+	pass     *Pass
+	rs       *ast.RangeStmt
+	keyObj   types.Object
+	valObj   types.Object
+	assigned map[types.Object]bool // objects written anywhere in the body
+}
+
+func (c *mapRangeChecker) objectOf(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := c.pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.Info.Uses[id]
+}
+
+// collectAssigned records every object assigned inside the loop body,
+// so the purity check can reject right-hand sides that read state
+// mutated by other iterations.
+func (c *mapRangeChecker) collectAssigned(body *ast.BlockStmt) {
+	c.assigned = map[types.Object]bool{}
+	mark := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.Ident:
+				if obj := c.objectOf(x); obj != nil {
+					c.assigned[obj] = true
+				}
+				return
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(s.X)
+		}
+		return true
+	})
+}
+
+// classifyBody reports whether every statement of the body is one of
+// the allowed order-independent forms, returning the names of slices
+// that collect keys/values (which must then be sorted after the loop).
+func (c *mapRangeChecker) classifyBody(body *ast.BlockStmt) (collected []string, ok bool) {
+	for _, stmt := range body.List {
+		names, ok := c.classifyStmt(stmt)
+		if !ok {
+			return nil, false
+		}
+		collected = append(collected, names...)
+	}
+	return collected, true
+}
+
+func (c *mapRangeChecker) classifyStmt(stmt ast.Stmt) (collected []string, ok bool) {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return nil, c.isInteger(s.X)
+	case *ast.ExprStmt:
+		return nil, c.isDelete(s.X)
+	case *ast.AssignStmt:
+		name, kind := c.classifyAssign(s)
+		switch kind {
+		case assignCollect:
+			return []string{name}, true
+		case assignAllowed:
+			return nil, true
+		}
+		return nil, false
+	case *ast.IfStmt:
+		// A branch taken purely on loop-invariant state (and the
+		// loop's own variables) filters which iterations have
+		// effects, not in what order — so an if over allowed forms
+		// is itself allowed.
+		if !c.releaseIfInit(s.Init) || !c.pureInLoop(s.Cond) {
+			return nil, false
+		}
+		names, ok := c.classifyBody(s.Body)
+		if !ok {
+			return nil, false
+		}
+		collected = names
+		switch e := s.Else.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			names, ok := c.classifyBody(e)
+			if !ok {
+				return nil, false
+			}
+			collected = append(collected, names...)
+		case *ast.IfStmt:
+			names, ok := c.classifyStmt(e)
+			if !ok {
+				return nil, false
+			}
+			collected = append(collected, names...)
+		default:
+			return nil, false
+		}
+		return collected, true
+	}
+	return nil, false
+}
+
+// releaseIfInit accepts an if-statement init clause that defines fresh
+// variables from a loop-pure expression (the comma-ok map lookup:
+// if _, ok := other[k]; !ok). The defined objects are scoped to the if
+// and freshly bound every iteration, so they carry no cross-iteration
+// state; they are removed from the assigned set before the condition
+// and branches are checked. Any other init form is rejected.
+func (c *mapRangeChecker) releaseIfInit(init ast.Stmt) bool {
+	if init == nil {
+		return true
+	}
+	as, ok := init.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE {
+		return false
+	}
+	for _, rhs := range as.Rhs {
+		if !c.pureInLoop(rhs) {
+			return false
+		}
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if obj := c.pass.Info.Defs[id]; obj != nil {
+			delete(c.assigned, obj)
+		}
+	}
+	return true
+}
+
+type assignKind int
+
+const (
+	assignBad assignKind = iota
+	assignAllowed
+	assignCollect
+)
+
+func (c *mapRangeChecker) classifyAssign(s *ast.AssignStmt) (slice string, kind assignKind) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return "", assignBad
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN,
+		token.MUL_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN, token.SHL_ASSIGN, token.SHR_ASSIGN:
+		// A keyed update (acc[k] += v, m[k] /= n — including the
+		// ranged map itself) touches each key exactly once, so the
+		// destinations are disjoint and any element type is fine.
+		if c.isKeyedWrite(lhs) && c.pureInLoop(rhs) {
+			return "", assignAllowed
+		}
+		// A scalar accumulator is only order-independent for exact,
+		// commutative updates — integers with +=, -=, |=, &=, ^=;
+		// float addition is order-dependent in the last bits (the
+		// BuildFrom2K bug).
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			if c.isInteger(lhs) && c.pureInLoop(rhs) {
+				return "", assignAllowed
+			}
+		}
+		return "", assignBad
+	case token.ASSIGN:
+	default:
+		return "", assignBad
+	}
+
+	// keys = append(keys, k): collection for later sorting.
+	if id, ok := lhs.(*ast.Ident); ok {
+		if call, ok := rhs.(*ast.CallExpr); ok && c.isBuiltin(call.Fun, "append") && len(call.Args) >= 2 && !call.Ellipsis.IsValid() {
+			if first, ok := call.Args[0].(*ast.Ident); ok && first.Name == id.Name {
+				for _, a := range call.Args[1:] {
+					if !c.pureInLoop(a) {
+						return "", assignBad
+					}
+				}
+				return id.Name, assignCollect
+			}
+		}
+	}
+
+	// dst[k] = <loop-pure expr>: disjoint destinations keyed by the
+	// loop's own key variable (a map copy; overwriting the current
+	// key of the ranged map itself is equally well-defined).
+	if c.isKeyedWrite(lhs) && c.pureInLoop(rhs) {
+		return "", assignAllowed
+	}
+	return "", assignBad
+}
+
+// isKeyedWrite reports whether lhs is base[k] with k the loop's own
+// key variable and base a plain identifier — each iteration then
+// writes a distinct destination. base is naturally in the assigned
+// set (these very writes), so it is exempted from the purity check;
+// the right-hand side still may not read it.
+func (c *mapRangeChecker) isKeyedWrite(lhs ast.Expr) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	idx, isIdent := ix.Index.(*ast.Ident)
+	_, baseIsIdent := ix.X.(*ast.Ident)
+	return isIdent && baseIsIdent && c.keyObj != nil && c.objectOf(idx) == c.keyObj
+}
+
+func (c *mapRangeChecker) isDelete(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || !c.isBuiltin(call.Fun, "delete") || len(call.Args) != 2 {
+		return false
+	}
+	return c.pureInLoop(call.Args[1])
+}
+
+func (c *mapRangeChecker) isBuiltin(fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := c.pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func (c *mapRangeChecker) isInteger(e ast.Expr) bool {
+	t := c.pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// pureInLoop reports whether e reads only loop variables and state not
+// assigned inside the loop body — i.e. its value cannot depend on
+// which iterations already ran. Function calls are rejected (they may
+// advance shared state, e.g. an RNG) except type conversions and
+// len/cap.
+func (c *mapRangeChecker) pureInLoop(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if !pure {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if obj := c.objectOf(x); obj != nil && c.assigned[obj] && obj != c.keyObj && obj != c.valObj {
+				pure = false
+			}
+		case *ast.CallExpr:
+			if tv, ok := c.pass.Info.Types[x.Fun]; ok && tv.IsType() {
+				return true // conversion: check operands
+			}
+			if c.isBuiltin(x.Fun, "len") || c.isBuiltin(x.Fun, "cap") {
+				return true
+			}
+			pure = false
+		}
+		return pure
+	})
+	return pure
+}
+
+// sortedAfter reports whether any statement after the loop (in the
+// same block) passes the named slice to a sorting call — anything
+// whose callee name mentions "sort": sort.Strings(keys),
+// slices.Sort(keys), sort.Slice(keys, ...), sortInt32s(keys), or
+// sort.Sort(byLen(keys)).
+func sortedAfter(after []ast.Stmt, slice string) bool {
+	found := false
+	for _, stmt := range after {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			// The full callee expression is matched so both the
+			// package-qualified stdlib forms (sort.Slice,
+			// slices.SortFunc) and local helpers (sortInt32s)
+			// count.
+			callee := types.ExprString(call.Fun)
+			if !strings.Contains(strings.ToLower(callee), "sort") {
+				return true
+			}
+			for _, a := range call.Args {
+				ast.Inspect(a, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && id.Name == slice {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

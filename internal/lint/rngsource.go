@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RngSource enforces the DESIGN.md §2 seeding contract inside the
+// value-producing packages: every random draw must come from an
+// explicit, caller-seeded *rand.Rand (or SplitMix64 stream) so that
+// runs are reproducible and draw order is pinned. Two violations are
+// flagged:
+//
+//   - package-global math/rand functions (rand.Intn, rand.Float64,
+//     rand.Shuffle, rand.Seed, ...): they share the process-global
+//     source, so any concurrent caller perturbs draw order and no seed
+//     pins the result;
+//   - time-seeded sources (rand.NewSource(time.Now().UnixNano())):
+//     a seed the manifest cannot record is a run that cannot be
+//     reproduced.
+//
+// The constructors rand.New / rand.NewSource / rand.NewZipf with an
+// explicit seed are the approved pattern. Escape hatch:
+// //pgb:rand <reason>.
+var RngSource = &Analyzer{
+	Name:      "rngsource",
+	Doc:       "flags package-global math/rand use and time-seeded sources in value-producing packages (DESIGN.md §2)",
+	Directive: "rand",
+	AppliesTo: prefixFilter(
+		"pgb/internal/algo",
+		"pgb/internal/gen",
+		"pgb/internal/core",
+		"pgb/internal/stats",
+		"pgb/internal/dp",
+		"pgb/internal/graph",
+	),
+	Run: runRngSource,
+}
+
+// randConstructors are the math/rand package-level functions that do
+// NOT touch the global source: they build explicit streams, which is
+// exactly what the contract wants.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runRngSource(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if fn := mathRandFunc(pass, x); fn != nil && !randConstructors[fn.Name()] {
+					pass.Reportf(x.Pos(),
+						"%s.%s draws from the package-global rand source; all randomness must flow from an explicit *rand.Rand seeded by the caller (DESIGN.md §2), or justify with //pgb:rand <reason>",
+						fn.Pkg().Path(), fn.Name())
+				}
+			case *ast.CallExpr:
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+					if fn := mathRandFunc(pass, sel.Sel); fn != nil && fn.Name() == "NewSource" && readsWallClock(pass, x.Args) {
+						pass.Reportf(x.Pos(),
+							"time-seeded rand source: the seed never reaches the manifest, so the run cannot be reproduced; derive the seed from the run's pinned seed instead, or justify with //pgb:rand <reason>")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mathRandFunc resolves id to a package-level math/rand (or
+// math/rand/v2) function, or nil.
+func mathRandFunc(pass *Pass, id *ast.Ident) *types.Func {
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil // methods on *rand.Rand etc. are the approved pattern
+	}
+	return fn
+}
+
+// readsWallClock reports whether any of the argument expressions calls
+// into package time (time.Now().UnixNano() and friends).
+func readsWallClock(pass *Pass, args []ast.Expr) bool {
+	for _, a := range args {
+		clock := false
+		ast.Inspect(a, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+					clock = true
+				}
+			}
+			return !clock
+		})
+		if clock {
+			return true
+		}
+	}
+	return false
+}

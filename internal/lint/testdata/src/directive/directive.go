@@ -1,0 +1,40 @@
+// Package fixture exercises the //pgb: directive machinery itself:
+// a directive needs a reason, must actually suppress something, and
+// must use a known name. Run with the errclose analyzer.
+package fixture
+
+import "os"
+
+// A reasonless directive suppresses nothing — the underlying finding
+// stays, and the directive is flagged too.
+func missingReason(f *os.File) {
+	//pgb:errclose // want `requires a reason`
+	f.Close() // want `error from f.Close is dropped`
+}
+
+// A directive pointing at a line with nothing to suppress is dead
+// weight and must be removed.
+func unused(f *os.File) error {
+	//pgb:errclose the close below is checked, so there is nothing to waive // want `unused //pgb:errclose directive`
+	return f.Close()
+}
+
+// Unknown directive names are typos waiting to silently not work.
+func unknown(f *os.File) error {
+	//pgb:errcloze transposed name // want `unknown directive //pgb:errcloze`
+	return f.Close()
+}
+
+// A directive two lines away is out of position: position-checked
+// means the flagged line or the line directly above, nothing else.
+func outOfPosition(f *os.File) {
+	//pgb:errclose too far from the call to plausibly refer to it // want `unused //pgb:errclose directive`
+
+	f.Close() // want `error from f.Close is dropped`
+}
+
+// The happy path: reasoned, adjacent, suppressing a real finding.
+func justified(f *os.File) {
+	//pgb:errclose best-effort cleanup; the write path already failed
+	f.Close()
+}

@@ -1,0 +1,60 @@
+// Package fixture exercises the errclose analyzer: errors from
+// Close/Sync/Flush must not be dropped on the floor (DESIGN.md §13).
+package fixture
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// Flagged: a swallowed Close error on a write path is a torn file.
+func dropClose(f *os.File) {
+	f.Close() // want `error from f.Close is dropped`
+}
+
+// Flagged: Sync and Flush carry the same contract.
+func dropSync(f *os.File) {
+	f.Sync() // want `error from f.Sync is dropped`
+}
+
+func dropFlush(w *bufio.Writer) {
+	w.Flush() // want `error from w.Flush is dropped`
+}
+
+// Allowed: explicit discard is visible in review.
+func discard(f *os.File) {
+	_ = f.Close()
+}
+
+// Allowed: handled.
+func handled(f *os.File) error {
+	return f.Close()
+}
+
+// Allowed: the deferred read-path idiom; write paths close-and-check
+// before rename instead.
+func deferred(f *os.File) {
+	defer f.Close()
+}
+
+// Allowed: methods named Close that do not return an error have
+// nothing to drop.
+type notifier struct{ ch chan struct{} }
+
+func (n *notifier) Close() { close(n.ch) }
+
+func closeNotifier(n *notifier) {
+	n.Close()
+}
+
+// Flagged: interface methods are resolved too.
+func dropInterface(c io.Closer) {
+	c.Close() // want `error from c.Close is dropped`
+}
+
+// Allowed with justification.
+func justified(f *os.File) {
+	//pgb:errclose best-effort cleanup after an earlier failure; the first error wins
+	f.Close()
+}

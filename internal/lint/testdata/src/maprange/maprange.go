@@ -1,0 +1,215 @@
+// Package fixture exercises the maprange analyzer: map iteration must
+// be provably order-independent, collected-then-sorted, or justified.
+package fixture
+
+import "sort"
+
+func sink(string) {}
+
+// Allowed: the canonical collect-then-sort pattern.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Allowed: sort.Slice also counts as sorting the collected slice.
+func keysSortSlice(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Flagged: keys are collected but never sorted, so downstream
+// consumers see a random order.
+func keysUnsorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `collected into keys but never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Flagged: float accumulation is order-dependent in the last bits
+// (the PR 2 BuildFrom2K bug).
+func floatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `not provably order-independent`
+		s += v
+	}
+	return s
+}
+
+// Allowed: integer accumulation is exact and commutative.
+func intSum(m map[string][]int) int {
+	n := 0
+	for _, v := range m {
+		n += len(v)
+	}
+	return n
+}
+
+// Allowed: bare counting.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Allowed: disjoint writes keyed by the loop's own key variable.
+func copyMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Flagged: inverting a map can collide on values, so last-write-wins
+// depends on iteration order.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // want `not provably order-independent`
+		out[v] = k
+	}
+	return out
+}
+
+// Flagged: the right-hand side reads state mutated by the loop, so
+// each write depends on how many iterations already ran.
+func rankByVisit(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	n := 0
+	for k := range m { // want `not provably order-independent`
+		out[k] = n
+		n++
+	}
+	return out
+}
+
+// Allowed: delete is order-independent when applied to every key.
+func clearVia(m, other map[string]int) {
+	for k := range m {
+		delete(other, k)
+	}
+}
+
+// Flagged: arbitrary side effects per iteration.
+func printAll(m map[string]int) {
+	for k := range m { // want `not provably order-independent`
+		sink(k)
+	}
+}
+
+// Allowed: a loop-invariant-pure condition filters which iterations
+// have effects, not in what order.
+func conditionalCollect(m map[int]float64) []int {
+	degs := make([]int, 0, len(m))
+	for d := range m {
+		if d > 0 {
+			degs = append(degs, d)
+		}
+	}
+	sort.Ints(degs)
+	return degs
+}
+
+// Flagged: the conditional collection is still a collection — it
+// needs the sort.
+func conditionalCollectUnsorted(m map[int]float64) []int {
+	degs := make([]int, 0, len(m))
+	for d := range m { // want `collected into degs but never sorted`
+		if d > 0 {
+			degs = append(degs, d)
+		}
+	}
+	return degs
+}
+
+// Flagged: a condition reading loop-mutated state makes the executed
+// set order-dependent (first-maximum depends on visit order).
+func argmax(m map[string]float64) string {
+	best, arg := 0.0, ""
+	for k, v := range m { // want `not provably order-independent`
+		if v > best {
+			best, arg = v, k
+		}
+	}
+	return arg
+}
+
+// Allowed: keyed float accumulation touches each key exactly once, so
+// the destinations are disjoint — unlike the scalar floatSum above.
+func mergeRow(acc, row map[string]float64) {
+	for k, v := range row {
+		acc[k] += v
+	}
+}
+
+// Allowed: normalising the ranged map in place updates each existing
+// key once.
+func normalize(acc map[string]float64, n int) {
+	for k := range acc {
+		acc[k] /= float64(n)
+	}
+}
+
+// Allowed: the comma-ok lookup in the if init defines fresh
+// per-iteration variables from a loop-pure expression (set
+// difference, collected then sorted — the benchgate added/removed
+// pattern).
+func missingKeys(cur, base map[string]int) []string {
+	var added []string
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	return added
+}
+
+// Flagged: an impure init clause (the call may advance shared state,
+// so the drawn values depend on visit order).
+func initImpure(m map[string]int, next func() int) []int {
+	var out []int
+	for range m { // want `not provably order-independent`
+		if v := next(); v > 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Allowed: a trailing //pgb:deterministic directive with a reason.
+func justifiedTrailing(m map[string]int) {
+	for k := range m { //pgb:deterministic sink is a set insertion; order cannot be observed
+		sink(k)
+	}
+}
+
+// Allowed: the directive may also sit on the line above the loop.
+func justifiedAbove(m map[string]int) {
+	//pgb:deterministic sink is a set insertion; order cannot be observed
+	for k := range m {
+		sink(k)
+	}
+}
+
+// Allowed: ranging over a slice is never flagged.
+func slices(s []string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises the nonfinitegate analyzer: float
+// out-of-range disjunctions are vacuously false under NaN, silently
+// disarming a gate (DESIGN.md §12).
+package fixture
+
+// Flagged: if x is NaN both comparisons are false, so the poisoned
+// value counts as in-range.
+func outOfRange(x, lo, hi float64) bool {
+	return x < lo || x > hi // want `vacuously false`
+}
+
+// Flagged: mixed orientation of the same operand is the same trap.
+func outOfRangeFlipped(x, lo, hi float64) bool {
+	return lo > x || x >= hi // want `vacuously false`
+}
+
+// Flagged: works through struct fields too.
+type iv struct{ lo, hi float64 }
+
+func (v iv) outside(x float64) bool {
+	return x < v.lo || x > v.hi // want `vacuously false`
+}
+
+// Allowed: the conjunction form fails closed — NaN is simply not
+// contained.
+func contains(x, lo, hi float64) bool {
+	return x >= lo && x <= hi
+}
+
+// Allowed: integers have no NaN.
+func intRange(x, lo, hi int) bool {
+	return x < lo || x > hi
+}
+
+// Allowed: same-direction comparisons are not a range check.
+func belowEither(x, a, b float64) bool {
+	return x < a || x < b
+}
+
+// Allowed with justification.
+func justified(x float64) bool {
+	//pgb:nonfinite x is proven finite by AllFinite at entry
+	return x < 0 || x > 1
+}

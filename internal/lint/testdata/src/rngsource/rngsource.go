@@ -1,0 +1,49 @@
+// Package fixture exercises the rngsource analyzer: all randomness in
+// value-producing packages must flow from an explicit, caller-seeded
+// stream (DESIGN.md §2).
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Flagged: package-level functions draw from the shared global
+// source, so no seed pins the result and concurrent callers perturb
+// draw order.
+func globalDraw() int {
+	return rand.Intn(10) // want `package-global rand source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `package-global rand source`
+}
+
+// Flagged even without a call: passing the global-source function as a
+// value smuggles it past a call-site check.
+func globalAsValue() func() float64 {
+	return rand.Float64 // want `package-global rand source`
+}
+
+// Flagged: a wall-clock seed never reaches the manifest, so the run
+// cannot be reproduced.
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time-seeded`
+}
+
+// Allowed: the approved pattern — an explicit stream from an explicit
+// seed.
+func explicit(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Allowed: methods on an explicit stream.
+func draws(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// Allowed with justification.
+func justified() float64 {
+	//pgb:rand jitter for retry backoff; never reaches values or manifests
+	return rand.Float64()
+}

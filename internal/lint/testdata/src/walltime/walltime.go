@@ -1,0 +1,33 @@
+// Package fixture exercises the walltime analyzer: value-producing
+// packages must not read the wall clock (DESIGN.md §2/§5).
+package fixture
+
+import "time"
+
+// Flagged: a timestamp in a value-producing package makes two
+// identical runs differ.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `wall clock`
+}
+
+// Flagged: elapsed-time reads are wall-clock reads too.
+func elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `wall clock`
+}
+
+// Allowed: time.Duration arithmetic and constants do not read the
+// clock.
+func double(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// Allowed: parsing fixed timestamps is deterministic.
+func parse(s string) (time.Time, error) {
+	return time.Parse(time.RFC3339, s)
+}
+
+// Allowed with justification: provenance/timing sites.
+func provenance() time.Time {
+	//pgb:walltime provenance timestamp for the manifest header; never feeds values
+	return time.Now()
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime flags wall-clock reads (time.Now, time.Since, time.Until)
+// in value-producing packages. Results there must be functions of
+// (dataset, seed, parameters) alone — a timestamp that reaches a
+// value, fingerprint, or manifest digest makes two identical runs
+// differ (DESIGN.md §2, §5). Measurement and provenance sites (e.g.
+// per-cell timing columns) are legitimate and carry a
+// //pgb:walltime <reason> directive.
+var WallTime = &Analyzer{
+	Name:      "walltime",
+	Doc:       "flags wall-clock reads in value-producing packages (results must be machine-independent; DESIGN.md §2/§5)",
+	Directive: "walltime",
+	AppliesTo: prefixFilter(
+		"pgb/internal/algo",
+		"pgb/internal/gen",
+		"pgb/internal/core",
+		"pgb/internal/stats",
+		"pgb/internal/dp",
+		"pgb/internal/graph",
+		"pgb/internal/community",
+		"pgb/internal/datasets",
+		"pgb/internal/metrics",
+	),
+	Run: runWallTime,
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallTime(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"time.%s reads the wall clock in a value-producing package; results must depend only on (dataset, seed, parameters) — justify provenance/timing sites with //pgb:walltime <reason>",
+				fn.Name())
+			return true
+		})
+	}
+}
