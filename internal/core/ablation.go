@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"pgb/internal/algo"
@@ -72,6 +73,7 @@ func RunAblation(name, dataset string, scale float64, reps int, seed int64) (str
 		for k := range Ablations() {
 			names = append(names, k)
 		}
+		sort.Strings(names)
 		return "", fmt.Errorf("core: unknown ablation %q (available: %s)", name, strings.Join(names, ", "))
 	}
 	spec, err := datasets.ByName(dataset)

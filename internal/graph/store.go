@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -176,7 +177,15 @@ func OpenSnapshotStore(dir string) (*SnapshotStore, error) {
 	if idx.Version != storeIndexVersion {
 		return nil, fmt.Errorf("graph: store index version %d, this build reads %d", idx.Version, storeIndexVersion)
 	}
-	for key, hex := range idx.Entries {
+	// Sorted so that with several corrupt entries the one reported is
+	// the same on every run.
+	keys := make([]string, 0, len(idx.Entries))
+	for key := range idx.Entries {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		hex := idx.Entries[key]
 		var fp uint64
 		if _, err := fmt.Sscanf(hex, "%x", &fp); err != nil {
 			return nil, fmt.Errorf("graph: store index entry %q has bad fingerprint %q", key, hex)
@@ -256,7 +265,7 @@ func (s *SnapshotStore) Put(ref Ref, g *Graph) error {
 // writeIndexLocked persists the index atomically; s.mu must be held.
 func (s *SnapshotStore) writeIndexLocked() error {
 	idx := storeIndex{Version: storeIndexVersion, Entries: make(map[string]string, len(s.index))}
-	for key, fp := range s.index {
+	for key, fp := range s.index { //pgb:deterministic Sprintf is pure per key and json.MarshalIndent emits object keys sorted, so the written index is byte-stable
 		idx.Entries[key] = fmt.Sprintf("%016x", fp)
 	}
 	data, err := json.MarshalIndent(idx, "", "  ")
@@ -269,7 +278,7 @@ func (s *SnapshotStore) writeIndexLocked() error {
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -320,7 +329,7 @@ func (s *SnapshotStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
-	for fp, snap := range s.open {
+	for fp, snap := range s.open { //pgb:deterministic mappings are disjoint and close order is immaterial; the retained first error is best-effort
 		if err := snap.closer.Close(); err != nil && first == nil {
 			first = err
 		}

@@ -349,15 +349,30 @@ func bestMatchF1(a, b []int) float64 {
 	groupsA := groupBy(a)
 	groupsB := groupBy(b)
 	labelB := b
+	// Accumulate in sorted label order: float addition is order-
+	// dependent in the last bits, and map iteration order would make
+	// AvgF1 differ across runs of the same comparison.
+	labelsA := make([]int, 0, len(groupsA))
+	for la := range groupsA {
+		labelsA = append(labelsA, la)
+	}
+	sort.Ints(labelsA)
 	total := 0.0
-	for _, membersA := range groupsA {
+	for _, la := range labelsA {
+		membersA := groupsA[la]
 		// count overlap of membersA with each community of B
 		overlap := make(map[int]float64)
 		for _, u := range membersA {
 			overlap[labelB[u]]++
 		}
+		labelsB := make([]int, 0, len(overlap))
+		for cb := range overlap {
+			labelsB = append(labelsB, cb)
+		}
+		sort.Ints(labelsB)
 		best := 0.0
-		for cb, ov := range overlap {
+		for _, cb := range labelsB {
+			ov := overlap[cb]
 			prec := ov / float64(len(membersA))
 			rec := ov / float64(len(groupsB[cb]))
 			f1 := 2 * prec * rec / (prec + rec)
