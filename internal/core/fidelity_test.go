@@ -4,6 +4,8 @@ import (
 	"os"
 	"sync"
 	"testing"
+
+	"pgb/internal/metrics"
 )
 
 // These tests guard the paper's headline qualitative findings against
@@ -253,7 +255,7 @@ func TestRunFidelityManifest(t *testing.T) {
 			if c.Lo[i] >= c.Hi[i] {
 				t.Fatalf("cell %s/%s query %s: degenerate interval [%g, %g]", c.Algorithm, c.Dataset, m.Queries[i], c.Lo[i], c.Hi[i])
 			}
-			if c.Mean[i] < c.Lo[i] || c.Mean[i] > c.Hi[i] {
+			if !(metrics.Interval{Lo: c.Lo[i], Hi: c.Hi[i]}).Contains(c.Mean[i]) {
 				t.Fatalf("cell %s/%s query %s: mean %g outside its own interval [%g, %g]",
 					c.Algorithm, c.Dataset, m.Queries[i], c.Mean[i], c.Lo[i], c.Hi[i])
 			}
@@ -318,6 +320,7 @@ func TestReadFidelityManifestRejectsMalformed(t *testing.T) {
 			"cells": [{"algorithm": "TmF", "dataset": "ER", "epsilon": 1,
 			"mean": [1], "lo": [0], "hi": [2], "stddev": [0]}]}`,
 	}
+	//pgb:deterministic each malformed manifest is parsed independently
 	for name, body := range cases {
 		p := dir + "/" + name
 		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {

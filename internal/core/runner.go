@@ -102,7 +102,10 @@ func (c Config) withDefaults() Config {
 	if c.Reps <= 0 {
 		c.Reps = 10
 	}
-	if c.Scale <= 0 || c.Scale > 1 {
+	// Fails closed under NaN: the disjunctive form (c.Scale <= 0 ||
+	// c.Scale > 1) is vacuously false for a poisoned Scale and would
+	// let NaN flow into every dataset size.
+	if !(c.Scale > 0 && c.Scale <= 1) {
 		c.Scale = 1
 	}
 	if c.Seed == 0 {
@@ -388,9 +391,9 @@ func MeasureGenerate(g algo.Generator, in *graph.Graph, eps float64, rng *rand.R
 func MeasureGenerateWith(g algo.Generator, in *graph.Graph, eps float64, rng *rand.Rand, p algo.Params) (sec, bytes float64, out *graph.Graph, err error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	start := time.Now()
+	start := time.Now() //pgb:walltime the wall clock is the measurement itself; sec never feeds values or digests
 	out, err = algo.GenerateWith(g, in, eps, rng, p)
-	sec = time.Since(start).Seconds()
+	sec = time.Since(start).Seconds() //pgb:walltime the wall clock is the measurement itself; sec never feeds values or digests
 	runtime.ReadMemStats(&after)
 	bytes = float64(after.TotalAlloc - before.TotalAlloc)
 	return sec, bytes, out, err

@@ -168,7 +168,7 @@ func TestAvgF1(t *testing.T) {
 	}
 	b := []int{0, 1, 0, 1}
 	v := AvgF1(a, b)
-	if v <= 0 || v >= 1 {
+	if !(v > 0 && v < 1) { // conjunctive form fails closed if v is NaN
 		t.Fatalf("AvgF1 crossed = %g, want in (0,1)", v)
 	}
 }
@@ -219,7 +219,9 @@ func TestQuickPartitionMetricBounds(t *testing.T) {
 		}
 		nmi := NMI(a, b)
 		f1 := AvgF1(a, b)
-		if nmi < -1e-9 || nmi > 1+1e-9 || f1 < -1e-9 || f1 > 1+1e-9 {
+		// Conjunctive bounds fail closed: a NaN score must falsify
+		// the property, not slip past a vacuously false disjunction.
+		if !(nmi >= -1e-9 && nmi <= 1+1e-9) || !(f1 >= -1e-9 && f1 <= 1+1e-9) {
 			return false
 		}
 		return NMI(a, a) > 1-1e-9 && ARI(a, a) > 1-1e-9 && AMI(a, a) > 1-1e-9 && AvgF1(a, a) > 1-1e-9
@@ -300,6 +302,7 @@ func TestDistributionMetricsRejectPoisonedInput(t *testing.T) {
 		"KolmogorovSmirnov": KolmogorovSmirnov,
 	}
 	clean := []float64{0.5, 0.5}
+	//pgb:deterministic each metric is applied to the same inputs independently
 	for name, f := range fns {
 		for _, poisoned := range [][]float64{
 			{math.NaN(), 0.5},
