@@ -381,6 +381,7 @@ func BenchmarkPrivGraphSplit(b *testing.B) {
 		"communityHeavy": {2, 1, 1},
 		"degreeHeavy":    {1, 2, 1},
 	}
+	//pgb:deterministic b.Run sub-benchmarks are independent; order does not affect measurements
 	for name, split := range splits {
 		b.Run(name, func(b *testing.B) {
 			alg := privgraph.New(privgraph.Options{Split: split})
@@ -461,7 +462,7 @@ func BenchmarkServerCompare(b *testing.B) {
 			b.Fatal(err)
 		}
 		data, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if err != nil || resp.StatusCode != http.StatusOK {
 			b.Fatalf("compare status %d: %s", resp.StatusCode, data)
 		}

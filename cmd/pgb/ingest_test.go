@@ -23,9 +23,9 @@ func captureStdout(t *testing.T, fn func() error) string {
 	go func() { errc <- fn() }()
 	runErr := <-errc
 	os.Stdout = old
-	w.Close()
+	_ = w.Close()
 	out, _ := io.ReadAll(r)
-	r.Close()
+	_ = r.Close()
 	if runErr != nil {
 		t.Fatalf("command failed: %v\noutput: %s", runErr, out)
 	}

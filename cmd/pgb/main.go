@@ -194,7 +194,7 @@ func (g *gridFlags) openStore(cfg *core.Config) error {
 // fully rendered (store-backed graphs view mapped memory).
 func (g *gridFlags) close() {
 	if g.store != nil {
-		g.store.Close()
+		_ = g.store.Close() // read-only mappings; nothing to recover at exit
 	}
 }
 

@@ -276,11 +276,11 @@ func openCheckpoint(cfg Config) (map[cellKey]CellResult, *checkpointWriter, erro
 		}
 		line, err := json.Marshal(want)
 		if err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		if _, err := f.Write(append(line, '\n')); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		return nil, &checkpointWriter{f: f}, nil
@@ -302,11 +302,11 @@ func openCheckpoint(cfg Config) (map[cellKey]CellResult, *checkpointWriter, erro
 		return nil, nil, err
 	}
 	if err := f.Truncate(offset); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	if _, err := f.Seek(offset, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	return done, &checkpointWriter{f: f}, nil

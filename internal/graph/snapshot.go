@@ -178,7 +178,7 @@ func WriteSnapshotFile(path string, g *Graph) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if err := WriteSnapshot(tmp, g); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {

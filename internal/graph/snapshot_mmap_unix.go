@@ -63,11 +63,11 @@ func mmapSnapshot(path string) (*Graph, io.Closer, error) {
 	m := &mmapMapping{data: data}
 	h, err := decodeSnapshotHeader(data)
 	if err != nil {
-		m.Close()
+		_ = m.Close()
 		return nil, nil, &snapshotHeaderError{err: err}
 	}
 	if want := snapshotHeaderSize + h.payloadSize(); size < want {
-		m.Close()
+		_ = m.Close()
 		return nil, nil, &snapshotHeaderError{err: fmt.Errorf("graph: snapshot truncated: %d bytes, payload needs %d", size, want)}
 	}
 	offBytes := data[snapshotHeaderSize : snapshotHeaderSize+8*(h.N+1)]
@@ -79,7 +79,7 @@ func mmapSnapshot(path string) (*Graph, io.Closer, error) {
 		nbr: aliasInt32(nbrBytes),
 	}
 	if err := g.validateShape(); err != nil {
-		m.Close()
+		_ = m.Close()
 		return nil, nil, &snapshotHeaderError{err: err}
 	}
 	return g, m, nil

@@ -113,7 +113,9 @@ func TestSnapshotEmptyAndTinyGraphs(t *testing.T) {
 			t.Fatalf("n=%d m=%d: OpenSnapshot: %v", g.N(), g.M(), err)
 		}
 		equalGraphs(t, g, got)
-		closer.Close()
+		if err := closer.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
 	}
 }
 
