@@ -193,6 +193,7 @@ func TestRunRejectsMalformedBaseline(t *testing.T) {
 	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	//pgb:deterministic each malformed baseline is written and checked independently
 	for name, body := range map[string]string{
 		"truncated.json": `{"schema": "pgb-bench/1", "benchmarks": {`,
 		"schema.json":    `{"schema": "pgb-fidelity/1", "benchmarks": {}}`,

@@ -176,6 +176,7 @@ func TestRunRejectsMalformedManifests(t *testing.T) {
 	if err := core.WriteFidelityManifest(good, testManifest()); err != nil {
 		t.Fatal(err)
 	}
+	//pgb:deterministic each malformed manifest is written and checked independently
 	for name, body := range map[string]string{
 		"bad.json":    `{"schema": "pgb-fidelity/1", "cells": [`,
 		"schema.json": `{"schema": "pgb-bench/1", "queries": ["x"], "cells": []}`,

@@ -30,6 +30,7 @@ func TestBudgetCompositionWithinEpsilon(t *testing.T) {
 		"LDPGen":    {0.5, 0.5},                  // two phases
 	}
 	for _, eps := range budgets {
+		//pgb:deterministic each split gets a fresh accountant; iterations share no state
 		for name, fracs := range splits {
 			acct := dp.NewAccountant(eps)
 			for i, f := range fracs {

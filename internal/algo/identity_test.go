@@ -100,6 +100,7 @@ func identityGraphs(t testing.TB) map[string]*graph.Graph {
 // fingerprints, and GenerateWith matches them at workers 1, 2 and 8.
 func TestGenerateGoldenIdentity(t *testing.T) {
 	graphs := identityGraphs(t)
+	//pgb:deterministic t.Run subtests are independent; goldens are compared per algorithm
 	for name, cases := range goldens {
 		name, cases := name, cases
 		t.Run(name, func(t *testing.T) {

@@ -40,6 +40,7 @@ func pathologicalGraphs() map[string]*graph.Graph {
 }
 
 func TestPathologicalInputs(t *testing.T) {
+	//pgb:deterministic every generator runs on every graph with a freshly seeded rng
 	for gname, g := range pathologicalGraphs() {
 		for _, a := range generators() {
 			for _, eps := range []float64{0.1, 5} {

@@ -22,6 +22,7 @@ func TestQueryMetadata(t *testing.T) {
 		QEigenvectorCentrality: "MAE",
 		QNumEdges:              "RE",
 	}
+	//pgb:deterministic pure per-query assertions; iterations share no state
 	for q, m := range wantMetric {
 		if q.Metric() != m {
 			t.Errorf("%s metric = %s, want %s", q, q.Metric(), m)
@@ -186,6 +187,7 @@ func TestTableFormatters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//pgb:deterministic each formatter output is checked independently
 	for name, s := range map[string]string{
 		"table7":   res.FormatTable7(),
 		"table12":  res.FormatTable12(),

@@ -35,6 +35,7 @@ func TestExtendedCompareCoversCompanionMetrics(t *testing.T) {
 			want[r.Metric] = true
 		}
 	}
+	//pgb:deterministic pure per-metric presence checks
 	for m, seen := range want {
 		if !seen {
 			t.Errorf("companion metric %s missing", m)

@@ -292,6 +292,7 @@ func TestRunWithQuerySubsetAndCustomQuery(t *testing.T) {
 			t.Fatal("unselected query present in cell")
 		}
 	}
+	//pgb:deterministic each formatter output is checked independently
 	for name, out := range map[string]string{
 		"table7":  res.FormatTable7(),
 		"table12": res.FormatTable12(),

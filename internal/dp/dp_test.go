@@ -413,6 +413,7 @@ func TestLaplaceMechanismDPInequality(t *testing.T) {
 	h0 := hist(10) // neighboring databases: counts 10 and 11
 	h1 := hist(11)
 	bound := math.Exp(eps) * 1.25 // discretization + sampling slack
+	//pgb:deterministic each bin's ratio bound is checked independently
 	for b, p0 := range h0 {
 		p1 := h1[b]
 		if p0 < 0.01 || p1 < 0.01 {

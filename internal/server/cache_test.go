@@ -19,6 +19,7 @@ func TestResultCacheLRU(t *testing.T) {
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b survived eviction despite being least recently used")
 	}
+	//pgb:deterministic pure per-key lookups against a settled cache
 	for k, want := range map[string]int{"a": 1, "c": 3} {
 		if v, ok := c.get(k); !ok || v != want {
 			t.Fatalf("get %s = %v, %v; want %d", k, v, ok, want)

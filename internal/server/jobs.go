@@ -115,7 +115,7 @@ func (j *job) progress(line string) {
 			j.completed, j.total = k, n
 		}
 	}
-	for ch := range j.subs {
+	for ch := range j.subs { //pgb:deterministic subscriber fan-out: channels are independent and sends non-blocking, so order is unobservable
 		select {
 		case ch <- line:
 		default:
